@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the analytic cost models behind Table I, Table II
+//! and the Fig. 5 "QSVT only" curve (cheap by construction, benchmarked so the
+//! harness covers every experiment-generating code path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qls_core::{
+    poisson_cost_breakdown, quantum_cost_comparison, CostParameters, PoissonCostParameters,
+};
+
+fn bench_table1_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost/table1");
+    group.sample_size(50);
+    group.bench_function("comparison_grid", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for &kappa in &[2.0, 10.0, 100.0, 1000.0] {
+                for &eps in &[1e-6, 1e-9, 1e-12] {
+                    let cmp = quantum_cost_comparison(CostParameters {
+                        kappa,
+                        epsilon: eps,
+                        epsilon_l: 1.0 / (2.0 * kappa),
+                        block_encoding_cost: 1.0,
+                    });
+                    acc += cmp.speedup;
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_table2_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost/table2");
+    group.sample_size(50);
+    group.bench_function("poisson_breakdown", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(poisson_cost_breakdown(PoissonCostParameters {
+                n_qubits: 10,
+                kappa: 1e4,
+                epsilon_l: 1e-2,
+                epsilon: 1e-11,
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_model, bench_table2_model);
+criterion_main!(benches);

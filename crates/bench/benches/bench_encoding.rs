@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the data-loading substrate: Pauli
+//! decomposition, state preparation, and the three block-encoding
+//! constructions at the paper's problem size (N = 16, i.e. 4 data qubits).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qls_bench::paper_test_system;
+use qls_encoding::{
+    DilationBlockEncoding, FableBlockEncoding, LcuBlockEncoding, PauliDecomposition,
+    StatePreparation,
+};
+
+fn bench_pauli_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding/pauli_decomposition");
+    group.sample_size(20);
+    let (a, _) = paper_test_system(16, 10.0, 4);
+    group.bench_function("dense_16x16", |bench| {
+        bench.iter(|| std::hint::black_box(PauliDecomposition::decompose_real(&a, 1e-12)))
+    });
+    group.finish();
+}
+
+fn bench_state_preparation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding/state_preparation");
+    group.sample_size(30);
+    let (_, b) = paper_test_system(16, 10.0, 5);
+    group.bench_function("tree_preprocessing_and_circuit_n4", |bench| {
+        bench.iter(|| {
+            let prep = StatePreparation::new(&b);
+            std::hint::black_box(prep.circuit())
+        })
+    });
+    group.finish();
+}
+
+fn bench_block_encodings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding/block_encoding_construction");
+    group.sample_size(10);
+    let (a, _) = paper_test_system(16, 10.0, 6);
+    group.bench_function("lcu_16x16", |bench| {
+        bench.iter(|| std::hint::black_box(LcuBlockEncoding::new(&a, 1e-12)))
+    });
+    group.bench_function("fable_16x16", |bench| {
+        bench.iter(|| std::hint::black_box(FableBlockEncoding::new(&a, 0.0)))
+    });
+    group.bench_function("dilation_16x16", |bench| {
+        bench.iter(|| std::hint::black_box(DilationBlockEncoding::new(&a, 0.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pauli_decomposition,
+    bench_state_preparation,
+    bench_block_encodings
+);
+criterion_main!(benches);

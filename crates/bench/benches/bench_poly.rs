@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the polynomial machinery: construction of the
+//! Eq. (4) inverse polynomial (the classical pre-processing whose degree drives
+//! the whole quantum cost) and its Clenshaw evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qls_poly::{interpolate, InversePolynomial};
+
+fn bench_inverse_polynomial_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poly/inverse_construction");
+    group.sample_size(10);
+    for &kappa in &[10.0f64, 100.0, 300.0] {
+        group.bench_with_input(BenchmarkId::new("kappa", kappa as u64), &kappa, |bench, &k| {
+            bench.iter(|| std::hint::black_box(InversePolynomial::new(k, 1e-4)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_clenshaw_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poly/clenshaw");
+    group.sample_size(20);
+    let poly = InversePolynomial::new(100.0, 1e-4);
+    group.bench_function(format!("degree_{}", poly.degree()), |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..64 {
+                let x = 0.01 + 0.98 * i as f64 / 63.0;
+                acc += poly.eval(x);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_interpolation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poly/interpolation");
+    group.sample_size(20);
+    for &n in &[64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("nodes", n), &n, |bench, &nodes| {
+            bench.iter(|| std::hint::black_box(interpolate(|x: f64| (3.0 * x).sin(), nodes)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inverse_polynomial_construction,
+    bench_clenshaw_evaluation,
+    bench_interpolation
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the state-vector simulator: gate application,
+//! circuit execution and full-unitary extraction at the register sizes the
+//! reproduction uses (4 data qubits + ancillas).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qls_sim::{circuit_unitary, Circuit, StateVector};
+
+fn ghz_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+    }
+    c
+}
+
+fn layered_circuit(n: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for l in 0..layers {
+        for q in 0..n {
+            c.ry(q, 0.1 * (l + q) as f64);
+        }
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+    }
+    c
+}
+
+fn bench_circuit_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/execution");
+    group.sample_size(20);
+    for &n in &[8usize, 10, 12] {
+        let circuit = layered_circuit(n, 10);
+        group.bench_with_input(BenchmarkId::new("10_layers", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(StateVector::run(&circuit)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ghz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/ghz");
+    group.sample_size(30);
+    for &n in &[10usize, 14] {
+        let circuit = ghz_circuit(n);
+        group.bench_with_input(BenchmarkId::new("qubits", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(StateVector::run(&circuit)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_unitary_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/unitary_extraction");
+    group.sample_size(10);
+    let circuit = layered_circuit(6, 5);
+    group.bench_function("6_qubits_5_layers", |bench| {
+        bench.iter(|| std::hint::black_box(circuit_unitary(&circuit)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_circuit_execution, bench_ghz, bench_unitary_extraction);
+criterion_main!(benches);

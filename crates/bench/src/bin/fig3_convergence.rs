@@ -1,0 +1,81 @@
+//! Fig. 3 — scaled residual per refinement iteration for κ = 10,
+//! target ε = 1e-11 and several values of ε_l.
+//!
+//! Reproduces the paper's Fig. 3 setting: a random 16×16 matrix with condition
+//! number 10, ‖b‖ = 1, target accuracy 1e-11, and three QSVT accuracies ε_l.
+//! For every run the per-iteration scaled residual is printed next to the
+//! Theorem III.1 prediction `(ε_l κ)^{i+1}`, and the measured iteration count
+//! is compared with the bound `⌈log ε / log(ε_l κ)⌉`.
+
+use qls_bench::{ascii_semilog_plot, experiment_rng, format_table, paper_test_system};
+use qls_core::{HybridRefinementOptions, HybridRefiner, HybridStatus};
+
+fn main() {
+    let kappa = 10.0;
+    let epsilon = 1e-11;
+    let epsilon_l_values = [1e-2, 1e-3, 1e-4];
+    let (a, b) = paper_test_system(16, kappa, 42);
+
+    println!("Fig. 3 — scaled residual until convergence (N = 16, kappa = {kappa}, eps = {epsilon:.0e})\n");
+
+    let mut series = Vec::new();
+    for &epsilon_l in &epsilon_l_values {
+        let options = HybridRefinementOptions {
+            target_epsilon: epsilon,
+            epsilon_l,
+            ..Default::default()
+        };
+        let refiner = HybridRefiner::new(&a, options).expect("refiner");
+        let mut rng = experiment_rng(7);
+        let (_, history) = refiner.solve(&b, &mut rng).expect("solve");
+        assert_eq!(history.status, HybridStatus::Converged, "eps_l = {epsilon_l}");
+
+        println!("eps_l = {epsilon_l:.0e}  (contraction factor eps_l*kappa = {:.0e})", epsilon_l * kappa);
+        let rows: Vec<Vec<String>> = history
+            .steps
+            .iter()
+            .map(|s| {
+                vec![
+                    format!("{}", s.iteration),
+                    format!("{:.3e}", s.scaled_residual),
+                    format!("{:.3e}", s.theoretical_bound),
+                    format!("{}", s.cost.block_encoding_calls),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            format_table(
+                &["iteration", "scaled residual", "Thm III.1 bound", "BE calls"],
+                &rows
+            )
+        );
+        println!(
+            "iterations: {} (Theorem III.1 bound: {}), final residual {:.3e}\n",
+            history.iterations(),
+            history
+                .iteration_bound()
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "n/a".to_string()),
+            history.final_residual()
+        );
+        series.push((
+            format!("eps_l = {epsilon_l:.0e}"),
+            history
+                .steps
+                .iter()
+                .map(|s| s.scaled_residual)
+                .collect::<Vec<_>>(),
+        ));
+    }
+
+    let named: Vec<(&str, Vec<f64>)> = series
+        .iter()
+        .map(|(name, values)| (name.as_str(), values.clone()))
+        .collect();
+    println!("semilog convergence plot (x: iteration, y: scaled residual):");
+    println!("{}", ascii_semilog_plot(&named, 16));
+    println!("Expected shape (paper Fig. 3): straight lines on the semilog scale — geometric");
+    println!("contraction by ~eps_l*kappa per iteration — with smaller eps_l giving steeper");
+    println!("lines and fewer iterations, and every run meeting eps = 1e-11 within the bound.");
+}

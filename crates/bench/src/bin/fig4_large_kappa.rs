@@ -1,0 +1,81 @@
+//! Fig. 4 — scaled residual per refinement iteration for larger condition
+//! numbers κ = 100, 200, 300.
+//!
+//! In the paper this experiment uses the angle-estimation algorithm of
+//! Ref. [32], which fixes ε_l itself; here the polynomial accuracy is tied to
+//! the condition number the same way (ε_l chosen so that ε_l·κ = 1/4), and the
+//! QSVT is applied through the emulation path (the degree reaches tens of
+//! thousands — see DESIGN.md).  The printed iteration counts must stay below
+//! the Theorem III.1 bound, as the paper observes.
+
+use qls_bench::{ascii_semilog_plot, experiment_rng, format_table, paper_test_system};
+use qls_core::{HybridRefinementOptions, HybridRefiner, HybridStatus};
+
+fn main() {
+    let epsilon = 1e-11;
+    let kappas = [100.0, 200.0, 300.0];
+    println!("Fig. 4 — scaled residual until convergence for kappa = 100, 200, 300 (N = 16, eps = {epsilon:.0e})\n");
+
+    let mut series = Vec::new();
+    for (idx, &kappa) in kappas.iter().enumerate() {
+        // eps_l fixed by the construction, as in the paper where the angle
+        // estimation algorithm determines it: eps_l * kappa = 1/4.
+        let epsilon_l = 0.25 / kappa;
+        let (a, b) = paper_test_system(16, kappa, 100 + idx as u64);
+        let options = HybridRefinementOptions {
+            target_epsilon: epsilon,
+            epsilon_l,
+            ..Default::default()
+        };
+        let refiner = HybridRefiner::new(&a, options).expect("refiner");
+        let mut rng = experiment_rng(11 + idx as u64);
+        let (_, history) = refiner.solve(&b, &mut rng).expect("solve");
+        assert_eq!(history.status, HybridStatus::Converged, "kappa = {kappa}");
+
+        println!(
+            "kappa = {kappa}: eps_l = {epsilon_l:.2e}, polynomial degree {}",
+            history.steps[0].cost.polynomial_degree
+        );
+        let rows: Vec<Vec<String>> = history
+            .steps
+            .iter()
+            .map(|s| {
+                vec![
+                    format!("{}", s.iteration),
+                    format!("{:.3e}", s.scaled_residual),
+                    format!("{:.3e}", s.theoretical_bound),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            format_table(&["iteration", "scaled residual", "Thm III.1 bound"], &rows)
+        );
+        println!(
+            "iterations: {} (bound: {}), final residual {:.3e}\n",
+            history.iterations(),
+            history
+                .iteration_bound()
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "n/a".to_string()),
+            history.final_residual()
+        );
+        series.push((
+            format!("kappa = {kappa}"),
+            history
+                .steps
+                .iter()
+                .map(|s| s.scaled_residual)
+                .collect::<Vec<_>>(),
+        ));
+    }
+
+    let named: Vec<(&str, Vec<f64>)> = series
+        .iter()
+        .map(|(name, values)| (name.as_str(), values.clone()))
+        .collect();
+    println!("semilog convergence plot (x: iteration, y: scaled residual):");
+    println!("{}", ascii_semilog_plot(&named, 16));
+    println!("Expected shape (paper Fig. 4): convergence remains geometric for the larger");
+    println!("condition numbers and the measured iteration count stays below the bound.");
+}

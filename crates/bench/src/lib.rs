@@ -1,0 +1,182 @@
+//! # qls-bench
+//!
+//! Benchmark harness and experiment generators for the paper reproduction.
+//!
+//! Every table and figure of the paper's evaluation has a dedicated binary
+//! that regenerates its data (see `src/bin/`):
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `table1`          | Table I — quantum cost with vs. without iterative refinement |
+//! | `table2`          | Table II — Poisson-equation cost breakdown |
+//! | `fig1_comms`      | Fig. 1 — CPU↔QPU communication scheme |
+//! | `fig2_circuit`    | Fig. 2 — block-encoding circuit of the tridiagonal matrix |
+//! | `fig3_convergence`| Fig. 3 — scaled residual per iteration, κ = 10, ε = 1e-11 |
+//! | `fig4_large_kappa`| Fig. 4 — scaled residual per iteration, κ = 100/200/300 |
+//! | `fig5_complexity` | Fig. 5 — block-encoding calls vs. ε, with and without refinement |
+//!
+//! The `benches/` directory additionally contains Criterion micro-benchmarks
+//! of every substrate (dense kernels, simulator, polynomial construction,
+//! block-encodings, QSVT application, refinement loop, cost model).
+//!
+//! This library crate only holds small shared helpers (deterministic test
+//! systems and plain-text table formatting) so the binaries and benches stay
+//! focused on the experiment logic.
+
+use qls_linalg::generate::{
+    random_matrix_with_cond, random_unit_vector, MatrixEnsemble, SingularValueDistribution,
+};
+use qls_linalg::{Matrix, Vector};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic random test system of size `n` with condition number `kappa`
+/// and unit-norm right-hand side — the Section IV experimental setup
+/// (`N = 16`, random matrix, ‖b‖ = 1).
+pub fn paper_test_system(n: usize, kappa: f64, seed: u64) -> (Matrix<f64>, Vector<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let a = random_matrix_with_cond(
+        n,
+        kappa,
+        SingularValueDistribution::Geometric,
+        MatrixEnsemble::General,
+        &mut rng,
+    );
+    let b = random_unit_vector(n, &mut rng);
+    (a, b)
+}
+
+/// A deterministic RNG for experiment runs.
+pub fn experiment_rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Format a plain-text table with aligned columns.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (j, cell) in row.iter().enumerate().take(ncols) {
+            widths[j] = widths[j].max(cell.len());
+        }
+    }
+    let format_row = |cells: &[String]| -> String {
+        let mut line = String::from("| ");
+        for (j, cell) in cells.iter().enumerate().take(ncols) {
+            line.push_str(&format!("{:<width$} | ", cell, width = widths[j]));
+        }
+        line.trim_end().to_string()
+    };
+    let mut out = String::new();
+    out.push_str(&format_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&"-".repeat(w + 2));
+        sep.push('|');
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a crude ASCII semilog plot of one or more series (iteration on the
+/// x-axis, log10 of the value on the y-axis) — enough to eyeball the
+/// convergence curves of Figs. 3–4 in a terminal.
+pub fn ascii_semilog_plot(series: &[(&str, Vec<f64>)], height: usize) -> String {
+    let mut min_log = f64::MAX;
+    let mut max_log = f64::MIN;
+    let mut max_len = 0usize;
+    for (_, values) in series {
+        max_len = max_len.max(values.len());
+        for &v in values {
+            if v > 0.0 {
+                min_log = min_log.min(v.log10());
+                max_log = max_log.max(v.log10());
+            }
+        }
+    }
+    if max_len == 0 || min_log > max_log {
+        return String::from("(no data)\n");
+    }
+    let rows = height.max(4);
+    let mut grid = vec![vec![' '; max_len * 4 + 8]; rows];
+    for (s_idx, (_, values)) in series.iter().enumerate() {
+        let marker = ['o', '+', 'x', '*', '#'][s_idx % 5];
+        for (i, &v) in values.iter().enumerate() {
+            if v <= 0.0 {
+                continue;
+            }
+            let frac = (v.log10() - min_log) / (max_log - min_log).max(1e-12);
+            let row = ((1.0 - frac) * (rows - 1) as f64).round() as usize;
+            let col = 6 + i * 4;
+            if row < rows && col < grid[0].len() {
+                grid[row][col] = marker;
+            }
+        }
+    }
+    let mut out = String::new();
+    for (r, line) in grid.iter().enumerate() {
+        let level = max_log - (max_log - min_log) * r as f64 / (rows - 1) as f64;
+        out.push_str(&format!("1e{:+05.1} {}\n", level, line.iter().collect::<String>()));
+    }
+    out.push_str("       ");
+    for i in 0..max_len {
+        out.push_str(&format!("{:<4}", i));
+    }
+    out.push('\n');
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} = {}", ['o', '+', 'x', '*', '#'][i % 5], name))
+        .collect();
+    out.push_str(&format!("       legend: {}\n", legend.join(", ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_system_is_deterministic_and_normalised() {
+        let (a1, b1) = paper_test_system(16, 10.0, 1);
+        let (a2, b2) = paper_test_system(16, 10.0, 1);
+        assert_eq!(a1, a2);
+        assert_eq!(b1.as_slice(), b2.as_slice());
+        assert!((b1.norm2() - 1.0).abs() < 1e-12);
+        assert!((qls_linalg::cond_2(&a1) - 10.0).abs() / 10.0 < 1e-8);
+    }
+
+    #[test]
+    fn table_formatting_aligns_columns() {
+        let table = format_table(
+            &["name", "value"],
+            &[
+                vec!["alpha".to_string(), "1".to_string()],
+                vec!["b".to_string(), "12345".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].contains("alpha"));
+    }
+
+    #[test]
+    fn ascii_plot_contains_markers_and_legend() {
+        let plot = ascii_semilog_plot(
+            &[("series-a", vec![1.0, 0.1, 0.01]), ("series-b", vec![0.5, 0.05])],
+            10,
+        );
+        assert!(plot.contains('o'));
+        assert!(plot.contains('+'));
+        assert!(plot.contains("legend"));
+    }
+}

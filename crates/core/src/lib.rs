@@ -1,0 +1,66 @@
+//! # qls-core
+//!
+//! The paper's contribution: a mixed-precision hybrid CPU/QPU linear-system
+//! solver that computes a first solution with the QSVT at low accuracy ε_l and
+//! refines it classically until a target accuracy ε is reached
+//! (Koska–Baboulin–Gazda, "A mixed-precision quantum-classical algorithm for
+//! solving linear systems").
+//!
+//! * [`solver`] — one QSVT solve (Remark 2 pipeline: normalise `b`, state
+//!   preparation, QSVT of `A†`, readout, Brent norm recovery) with full cost
+//!   accounting.
+//! * [`refine`] — Algorithm 2: the hybrid iterative-refinement loop, its
+//!   convergence history, and the Theorem III.1 bound.
+//! * [`cost`] — the quantum cost model of Table I and the Poisson breakdown of
+//!   Table II.
+//! * [`comms`] — the CPU↔QPU communication timeline of Fig. 1.
+//! * [`baselines`] — direct high-precision QSVT (the paper's comparison
+//!   strategy), the classical LU reference, and classical mixed-precision
+//!   iterative refinement (Algorithm 1).
+//! * [`hhl`] — a QPE-based HHL solver (extension baseline discussed in the
+//!   paper's introduction).
+//!
+//! ## Example
+//!
+//! ```
+//! use qls_core::{HybridRefiner, HybridRefinementOptions};
+//! use qls_linalg::generate::{random_matrix_with_cond, random_unit_vector,
+//!                            MatrixEnsemble, SingularValueDistribution};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let a = random_matrix_with_cond(
+//!     16, 10.0,
+//!     SingularValueDistribution::Geometric,
+//!     MatrixEnsemble::General,
+//!     &mut rng,
+//! );
+//! let b = random_unit_vector(16, &mut rng);
+//!
+//! let refiner = HybridRefiner::new(&a, HybridRefinementOptions {
+//!     target_epsilon: 1e-10,
+//!     epsilon_l: 1e-2,
+//!     ..Default::default()
+//! }).unwrap();
+//! let (x, history) = refiner.solve(&b, &mut rng).unwrap();
+//! assert!(history.final_residual() <= 1e-10);
+//! assert!(history.iterations() <= history.iteration_bound().unwrap());
+//! # let _ = x;
+//! ```
+
+pub mod baselines;
+pub mod comms;
+pub mod cost;
+pub mod hhl;
+pub mod refine;
+pub mod solver;
+
+pub use baselines::{classical_lu_solve, DirectQsvtSolver};
+pub use comms::{CommunicationParameters, CommunicationSchedule, Direction, Payload, TransferEvent};
+pub use cost::{
+    poisson_cost_breakdown, quantum_cost_comparison, qsvt_degree_model, CostParameters,
+    PoissonCostParameters, PoissonCostRow, QuantumCostComparison, StrategyCost,
+};
+pub use hhl::{HhlOptions, HhlResult, HhlSolver};
+pub use refine::{HybridHistory, HybridRefinementOptions, HybridRefiner, HybridStatus, HybridStep};
+pub use solver::{QsvtLinearSolver, QsvtSolveResult, QsvtSolverOptions, SolveCost};

@@ -1,0 +1,405 @@
+//! Algorithm 2: mixed-precision iterative refinement with a QSVT inner solver.
+//!
+//! This is the paper's contribution.  A first solution `x₀` is computed by the
+//! QSVT at low accuracy ε_l (on the "QPU"); then, until the scaled residual
+//! `ω = ‖b − A x_i‖/‖b‖` drops below the target ε, each iteration
+//!
+//! 1. computes the residual `r_i = b − A x_i` in high precision `u` (CPU),
+//! 2. solves `A e_i = r_i` at accuracy ε_l with the QSVT (QPU),
+//! 3. updates `x_{i+1} = x_i + e_i` in high precision (CPU).
+//!
+//! Theorem III.1: when `ε_l·κ < 1` the scaled residual contracts by a factor
+//! `ε_l·κ` per iteration, so at most `⌈log ε / log(ε_l κ)⌉` iterations are
+//! needed.  The refiner records the whole history (per-iteration residuals,
+//! contraction factors, quantum cost) so the convergence figures (Figs. 3–4)
+//! and the complexity comparison (Fig. 5) can be regenerated directly from a
+//! run.
+
+use crate::solver::{QsvtLinearSolver, QsvtSolverOptions, SolveCost};
+use qls_linalg::{scaled_residual, Matrix, Vector};
+use qls_qsvt::QsvtError;
+use rand::Rng;
+use serde::Serialize;
+
+/// Options of the hybrid refinement loop.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridRefinementOptions {
+    /// Target scaled residual ε (the paper uses 1e-11 in Fig. 3).
+    pub target_epsilon: f64,
+    /// Low accuracy ε_l of each QSVT solve.
+    pub epsilon_l: f64,
+    /// Hard cap on refinement iterations (safety net above the theoretical bound).
+    pub max_iterations: usize,
+    /// Options passed to the inner QSVT solver (mode, shots, …); its
+    /// `epsilon_l` field is overwritten with the value above.
+    pub solver: QsvtSolverOptions,
+}
+
+impl Default for HybridRefinementOptions {
+    fn default() -> Self {
+        HybridRefinementOptions {
+            target_epsilon: 1e-11,
+            epsilon_l: 1e-2,
+            max_iterations: 60,
+            solver: QsvtSolverOptions::default(),
+        }
+    }
+}
+
+/// Why the hybrid refinement stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum HybridStatus {
+    /// Target scaled residual reached.
+    Converged,
+    /// Iteration cap reached first.
+    MaxIterations,
+    /// The residual stopped contracting (ε_l·κ too close to 1, or limiting
+    /// accuracy reached).
+    Stagnated,
+}
+
+/// One step of the refinement history.
+#[derive(Debug, Clone, Serialize)]
+pub struct HybridStep {
+    /// Iteration index (0 = initial solve).
+    pub iteration: usize,
+    /// Scaled residual ω after this step.
+    pub scaled_residual: f64,
+    /// Theorem III.1 prediction `(ε_l κ)^{i+1}` for this step.
+    pub theoretical_bound: f64,
+    /// Quantum/classical cost of the solve performed at this step.
+    pub cost: SolveCost,
+}
+
+/// Complete record of a hybrid refinement run.
+#[derive(Debug, Clone, Serialize)]
+pub struct HybridHistory {
+    /// Per-step records (index 0 is the initial solve).
+    pub steps: Vec<HybridStep>,
+    /// Termination status.
+    pub status: HybridStatus,
+    /// Condition number used for the theoretical bound.
+    pub kappa: f64,
+    /// ε_l of the inner solver.
+    pub epsilon_l: f64,
+    /// Target ε.
+    pub target_epsilon: f64,
+}
+
+impl HybridHistory {
+    /// Number of refinement iterations (excluding the initial solve).
+    pub fn iterations(&self) -> usize {
+        self.steps.len().saturating_sub(1)
+    }
+
+    /// Final scaled residual.
+    pub fn final_residual(&self) -> f64 {
+        self.steps.last().map(|s| s.scaled_residual).unwrap_or(f64::NAN)
+    }
+
+    /// Theorem III.1 iteration bound `⌈log ε / log(ε_l κ)⌉`, when it applies.
+    pub fn iteration_bound(&self) -> Option<usize> {
+        qls_linalg::refine::iteration_bound(self.target_epsilon, self.epsilon_l, self.kappa)
+    }
+
+    /// Per-iteration contraction factors ω_{i+1}/ω_i.
+    pub fn contraction_factors(&self) -> Vec<f64> {
+        self.steps
+            .windows(2)
+            .map(|w| {
+                if w[0].scaled_residual == 0.0 {
+                    0.0
+                } else {
+                    w[1].scaled_residual / w[0].scaled_residual
+                }
+            })
+            .collect()
+    }
+
+    /// Total number of block-encoding calls across all solves — the quantum
+    /// complexity axis of Fig. 5.
+    pub fn total_block_encoding_calls(&self) -> usize {
+        self.steps.iter().map(|s| s.cost.block_encoding_calls).sum()
+    }
+
+    /// Total number of measurement shots across all solves.
+    pub fn total_shots(&self) -> usize {
+        self.steps.iter().map(|s| s.cost.shots).sum()
+    }
+
+    /// True when every measured residual satisfies the Theorem III.1 bound
+    /// `ω_i ≤ (ε_l κ)^{i+1}` up to the slack factor.
+    pub fn satisfies_theorem_bound(&self, slack: f64) -> bool {
+        self.steps
+            .iter()
+            .all(|s| s.scaled_residual <= s.theoretical_bound * slack)
+    }
+}
+
+/// The hybrid CPU/QPU mixed-precision refiner (Algorithm 2).
+pub struct HybridRefiner {
+    matrix: Matrix<f64>,
+    solver: QsvtLinearSolver,
+    options: HybridRefinementOptions,
+}
+
+impl HybridRefiner {
+    /// Prepare the refiner: builds the QSVT solver once (block-encoding and
+    /// polynomial are reused across all iterations, as in the paper's
+    /// communication scheme of Fig. 1).
+    pub fn new(a: &Matrix<f64>, options: HybridRefinementOptions) -> Result<Self, QsvtError> {
+        let mut solver_options = options.solver;
+        solver_options.epsilon_l = options.epsilon_l;
+        let solver = QsvtLinearSolver::new(a, solver_options)?;
+        Ok(HybridRefiner {
+            matrix: a.clone(),
+            solver,
+            options,
+        })
+    }
+
+    /// The inner QSVT solver.
+    pub fn solver(&self) -> &QsvtLinearSolver {
+        &self.solver
+    }
+
+    /// The refinement options.
+    pub fn options(&self) -> &HybridRefinementOptions {
+        &self.options
+    }
+
+    /// Run Algorithm 2 for the right-hand side `b`.
+    pub fn solve<R: Rng>(
+        &self,
+        b: &Vector<f64>,
+        rng: &mut R,
+    ) -> Result<(Vector<f64>, HybridHistory), QsvtError> {
+        let kappa = self.solver.kappa();
+        let epsilon_l = self.options.epsilon_l;
+        let contraction = (epsilon_l * kappa).min(1.0);
+
+        // Initial solve on the QPU.
+        let first = self.solver.solve(b, rng)?;
+        let mut x = first.solution.clone();
+        let mut steps = vec![HybridStep {
+            iteration: 0,
+            scaled_residual: first.scaled_residual,
+            theoretical_bound: contraction,
+            cost: first.cost,
+        }];
+
+        let mut status = HybridStatus::MaxIterations;
+        if first.scaled_residual <= self.options.target_epsilon {
+            status = HybridStatus::Converged;
+        } else {
+            let mut prev_omega = first.scaled_residual;
+            for it in 1..=self.options.max_iterations {
+                // CPU: residual in high precision.
+                let r = b - &self.matrix.matvec(&x);
+                // QPU: correction solve at accuracy ε_l.
+                let correction = self.solver.solve(&r, rng)?;
+                // CPU: update in high precision.
+                x += &correction.solution;
+
+                let omega = scaled_residual(&self.matrix, &x, b);
+                steps.push(HybridStep {
+                    iteration: it,
+                    scaled_residual: omega,
+                    theoretical_bound: contraction.powi(it as i32 + 1),
+                    cost: correction.cost,
+                });
+
+                if omega <= self.options.target_epsilon {
+                    status = HybridStatus::Converged;
+                    break;
+                }
+                if omega > prev_omega * 0.95 {
+                    status = HybridStatus::Stagnated;
+                    break;
+                }
+                prev_omega = omega;
+            }
+        }
+
+        Ok((
+            x,
+            HybridHistory {
+                steps,
+                status,
+                kappa,
+                epsilon_l,
+                target_epsilon: self.options.target_epsilon,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qls_linalg::generate::{
+        random_matrix_with_cond, random_unit_vector, MatrixEnsemble, SingularValueDistribution,
+    };
+    use qls_linalg::lu::lu_solve;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn system(kappa: f64, n: usize, seed: u64) -> (Matrix<f64>, Vector<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = random_matrix_with_cond(
+            n,
+            kappa,
+            SingularValueDistribution::Geometric,
+            MatrixEnsemble::General,
+            &mut rng,
+        );
+        let b = random_unit_vector(n, &mut rng);
+        (a, b)
+    }
+
+    #[test]
+    fn converges_to_target_epsilon_for_kappa_10() {
+        // The Fig. 3 setting: N = 16, kappa = 10, eps = 1e-11.
+        let (a, b) = system(10.0, 16, 151);
+        let options = HybridRefinementOptions {
+            target_epsilon: 1e-11,
+            epsilon_l: 1e-2,
+            ..Default::default()
+        };
+        let refiner = HybridRefiner::new(&a, options).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let (x, history) = refiner.solve(&b, &mut rng).unwrap();
+        assert_eq!(history.status, HybridStatus::Converged);
+        assert!(history.final_residual() <= 1e-11);
+        // Iteration count within the Theorem III.1 bound.
+        let bound = history.iteration_bound().unwrap();
+        assert!(
+            history.iterations() <= bound,
+            "iterations {} exceed bound {bound}",
+            history.iterations()
+        );
+        // Solution matches LU to the target accuracy scale.
+        let reference = lu_solve(&a, &b).unwrap();
+        assert!((&x - &reference).norm2() / reference.norm2() < 1e-9);
+    }
+
+    #[test]
+    fn residual_satisfies_theorem_bound_each_iteration() {
+        let (a, b) = system(10.0, 16, 152);
+        for &eps_l in &[1e-2, 1e-3] {
+            let options = HybridRefinementOptions {
+                target_epsilon: 1e-11,
+                epsilon_l: eps_l,
+                ..Default::default()
+            };
+            let refiner = HybridRefiner::new(&a, options).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(12);
+            let (_, history) = refiner.solve(&b, &mut rng).unwrap();
+            assert_eq!(history.status, HybridStatus::Converged);
+            // Allow a modest constant-factor slack over the bound.
+            assert!(
+                history.satisfies_theorem_bound(10.0),
+                "residuals {:?} vs bounds {:?}",
+                history.steps.iter().map(|s| s.scaled_residual).collect::<Vec<_>>(),
+                history.steps.iter().map(|s| s.theoretical_bound).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_epsilon_l_needs_fewer_iterations() {
+        let (a, b) = system(10.0, 16, 153);
+        let run = |eps_l: f64| -> usize {
+            let options = HybridRefinementOptions {
+                target_epsilon: 1e-10,
+                epsilon_l: eps_l,
+                ..Default::default()
+            };
+            let refiner = HybridRefiner::new(&a, options).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(13);
+            let (_, history) = refiner.solve(&b, &mut rng).unwrap();
+            assert_eq!(history.status, HybridStatus::Converged);
+            history.iterations()
+        };
+        let coarse = run(1e-2);
+        let fine = run(1e-4);
+        assert!(fine <= coarse);
+        assert!(coarse >= 2);
+    }
+
+    #[test]
+    fn contraction_factor_tracks_epsilon_l_kappa() {
+        let (a, b) = system(20.0, 16, 154);
+        let eps_l = 1e-3;
+        let options = HybridRefinementOptions {
+            target_epsilon: 1e-12,
+            epsilon_l: eps_l,
+            ..Default::default()
+        };
+        let refiner = HybridRefiner::new(&a, options).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let (_, history) = refiner.solve(&b, &mut rng).unwrap();
+        let expected = eps_l * 20.0;
+        for (i, &factor) in history.contraction_factors().iter().enumerate() {
+            // Each contraction factor should not exceed the theoretical eps_l*kappa
+            // by more than a small constant (and is usually much better).
+            assert!(
+                factor <= expected * 5.0,
+                "iteration {i}: contraction {factor} vs expected ≤ {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_kappa_converges_with_more_iterations() {
+        // The Fig. 4 regime (scaled down in kappa to keep the test fast).
+        let (a100, b100) = system(100.0, 16, 155);
+        let options = HybridRefinementOptions {
+            target_epsilon: 1e-10,
+            epsilon_l: 1e-3,
+            ..Default::default()
+        };
+        let refiner = HybridRefiner::new(&a100, options).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(15);
+        let (_, history) = refiner.solve(&b100, &mut rng).unwrap();
+        assert_eq!(history.status, HybridStatus::Converged);
+        assert!(history.iterations() <= history.iteration_bound().unwrap());
+        // At least one refinement iteration is needed: a single eps_l-accurate
+        // solve cannot reach 1e-10 for kappa = 100.
+        assert!(history.iterations() >= 1);
+    }
+
+    #[test]
+    fn cost_accumulates_across_iterations() {
+        let (a, b) = system(10.0, 16, 156);
+        let options = HybridRefinementOptions {
+            target_epsilon: 1e-8,
+            epsilon_l: 1e-2,
+            ..Default::default()
+        };
+        let refiner = HybridRefiner::new(&a, options).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(16);
+        let (_, history) = refiner.solve(&b, &mut rng).unwrap();
+        let per_solve = history.steps[0].cost.block_encoding_calls;
+        assert_eq!(
+            history.total_block_encoding_calls(),
+            per_solve * history.steps.len()
+        );
+        assert!(history.total_shots() > 0);
+    }
+
+    #[test]
+    fn poisson_matrix_refinement() {
+        let a = qls_linalg::poisson_1d::<f64>(16, false).to_dense();
+        let mut rng = ChaCha8Rng::seed_from_u64(157);
+        let b = random_unit_vector(16, &mut rng);
+        let options = HybridRefinementOptions {
+            target_epsilon: 1e-10,
+            epsilon_l: 1e-3,
+            ..Default::default()
+        };
+        let refiner = HybridRefiner::new(&a, options).unwrap();
+        let (_, history) = refiner.solve(&b, &mut rng).unwrap();
+        assert_eq!(history.status, HybridStatus::Converged);
+    }
+}

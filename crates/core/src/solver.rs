@@ -1,0 +1,348 @@
+//! The QSVT linear-system solver (one "QPU solve" of the paper).
+//!
+//! [`QsvtLinearSolver`] performs a single low-accuracy solve of `A x = b` the
+//! way Algorithm 2 of the paper invokes its QPU:
+//!
+//! 1. normalise `b` (quantum algorithms operate on unit states — Remark 2);
+//! 2. prepare the state, apply the QSVT of `A†` with the Eq. (4) polynomial
+//!    (through `qls-qsvt`, either the simulated circuit or the ideal-output
+//!    emulation), post-select the ancillas;
+//! 3. read out the solution *direction* `η = x/‖x‖`, exactly or through a
+//!    finite number of measurement shots (`O(1/ε_l²)` in the paper's model);
+//! 4. recover the solution norm classically with Brent's method
+//!    (`argmin_μ ‖A(μη) − b‖`) and return `x̃ = μ η`.
+//!
+//! The per-solve resource record (block-encoding calls, shots, classical
+//! flops) feeds the cost model of [`crate::cost`].
+
+use qls_encoding::StatePreparation;
+use qls_linalg::{brent_minimize, scaled_residual, Matrix, Vector};
+use qls_qsvt::{QsvtError, QsvtInverter, QsvtMode, QsvtResources};
+use qls_sim::shots_for_accuracy;
+use rand::Rng;
+use serde::Serialize;
+
+/// Configuration of a QSVT solve.
+#[derive(Debug, Clone, Copy)]
+pub struct QsvtSolverOptions {
+    /// Low (solver) accuracy ε_l targeted by the QSVT solve.
+    pub epsilon_l: f64,
+    /// Execution mode for the quantum part.
+    pub mode: QsvtMode,
+    /// Number of measurement shots used to read out the solution direction;
+    /// `None` reads the exact amplitudes from the simulator (noiseless
+    /// readout, the regime of the paper's convergence plots).
+    pub shots: Option<usize>,
+    /// Iteration/evaluation budget of the Brent norm-recovery step.
+    pub brent_tolerance: f64,
+}
+
+impl Default for QsvtSolverOptions {
+    fn default() -> Self {
+        QsvtSolverOptions {
+            epsilon_l: 1e-2,
+            mode: QsvtMode::Emulation,
+            shots: None,
+            brent_tolerance: 1e-12,
+        }
+    }
+}
+
+impl QsvtSolverOptions {
+    /// The number of shots the paper's model would prescribe for this ε_l
+    /// (`O(1/ε_l²)`), whether or not sampling is enabled.
+    pub fn model_shots(&self) -> usize {
+        shots_for_accuracy(self.epsilon_l, 1.0)
+    }
+}
+
+/// Result of one QSVT solve.
+#[derive(Debug, Clone)]
+pub struct QsvtSolveResult {
+    /// The recovered (de-normalised) solution `x̃ = μ η`.
+    pub solution: Vector<f64>,
+    /// The normalised direction `η` returned by the quantum routine.
+    pub direction: Vector<f64>,
+    /// The recovered norm `μ ≈ ‖x‖`.
+    pub scale: f64,
+    /// Scaled residual `‖b − A x̃‖/‖b‖` of the returned solution.
+    pub scaled_residual: f64,
+    /// Ancilla post-selection success probability of the QSVT circuit.
+    pub success_probability: f64,
+    /// Per-solve cost record.
+    pub cost: SolveCost,
+}
+
+/// Cost bookkeeping for a single solve.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SolveCost {
+    /// Degree of the inversion polynomial.
+    pub polynomial_degree: usize,
+    /// Calls to the block-encoding of `A†` (and its adjoint).
+    pub block_encoding_calls: usize,
+    /// Shots used for the readout (the model value when exact readout is used).
+    pub shots: usize,
+    /// Classical flops of the state-preparation preprocessing (tree build).
+    pub state_prep_flops: usize,
+    /// Classical evaluations used by the Brent norm recovery.
+    pub brent_evaluations: usize,
+    /// Classical flops of the residual/verification mat-vec.
+    pub classical_matvec_flops: usize,
+}
+
+/// A prepared QSVT solver for a fixed matrix.
+pub struct QsvtLinearSolver {
+    matrix: Matrix<f64>,
+    inverter: QsvtInverter,
+    options: QsvtSolverOptions,
+}
+
+impl QsvtLinearSolver {
+    /// Prepare the solver (builds the inverse polynomial and, in circuit mode,
+    /// the phase factors and the QSVT circuit).
+    pub fn new(a: &Matrix<f64>, options: QsvtSolverOptions) -> Result<Self, QsvtError> {
+        let inverter = QsvtInverter::new(a, options.epsilon_l, options.mode)?;
+        Ok(QsvtLinearSolver {
+            matrix: a.clone(),
+            inverter,
+            options,
+        })
+    }
+
+    /// The solver options.
+    pub fn options(&self) -> &QsvtSolverOptions {
+        &self.options
+    }
+
+    /// The condition number of the prepared matrix (from its SVD).
+    pub fn kappa(&self) -> f64 {
+        self.inverter.kappa()
+    }
+
+    /// Quantum-side resource description (degree, block-encoding calls, …).
+    pub fn quantum_resources(&self) -> QsvtResources {
+        self.inverter.resources()
+    }
+
+    /// Solve `A x = b` once at accuracy ε_l.  `rng` is only used when shot
+    /// sampling is enabled.
+    pub fn solve<R: Rng>(&self, b: &Vector<f64>, rng: &mut R) -> Result<QsvtSolveResult, QsvtError> {
+        let n = b.len();
+        assert_eq!(n, self.matrix.nrows(), "dimension mismatch");
+
+        // Classical pre-processing: the state-preparation tree of b/‖b‖.
+        let prep = StatePreparation::new(b);
+        let state_prep_flops = prep.classical_flops;
+
+        // Quantum solve: direction of the solution.
+        let (mut direction, success_probability) = self.inverter.solve_direction(b)?;
+
+        // Optional finite-shot readout: perturb magnitudes with multinomial
+        // sampling noise, keep the signs (sign recovery is assumed exact, see
+        // qls-sim::measure::signed_from_magnitudes).
+        let shots = self.options.shots.unwrap_or_else(|| self.options.model_shots());
+        if let Some(s) = self.options.shots {
+            direction = sample_direction(&direction, s, rng);
+        }
+
+        // Classical post-processing: norm recovery (Remark 2).
+        let a_eta = self.matrix.matvec(&direction);
+        let b_norm = b.norm2();
+        let upper = if a_eta.norm2() > 0.0 {
+            2.0 * b_norm / a_eta.norm2() * 2.0
+        } else {
+            1.0
+        };
+        let objective = |mu: f64| {
+            let mut r = b.clone();
+            r.axpy(-mu, &a_eta);
+            let v = r.norm2();
+            v * v
+        };
+        let brent = brent_minimize(objective, 0.0, upper.max(1e-6), self.options.brent_tolerance, 200);
+        let scale = brent.x;
+
+        let solution = direction.scaled(scale);
+        let omega = scaled_residual(&self.matrix, &solution, b);
+
+        Ok(QsvtSolveResult {
+            solution,
+            direction,
+            scale,
+            scaled_residual: omega,
+            success_probability,
+            cost: SolveCost {
+                polynomial_degree: self.inverter.resources().degree,
+                block_encoding_calls: self.inverter.resources().block_encoding_calls,
+                shots,
+                state_prep_flops,
+                brent_evaluations: brent.evaluations,
+                classical_matvec_flops: 2 * n * n,
+            },
+        })
+    }
+}
+
+/// Simulate a finite-shot readout of a normalised real direction vector:
+/// magnitudes are re-estimated from a multinomial sample of `shots` outcomes,
+/// signs are kept from the exact direction.
+fn sample_direction<R: Rng>(direction: &Vector<f64>, shots: usize, rng: &mut R) -> Vector<f64> {
+    let probs: Vec<f64> = direction.iter().map(|&x| x * x).collect();
+    let mut counts = vec![0usize; probs.len()];
+    // Cumulative distribution.
+    let mut cdf = Vec::with_capacity(probs.len());
+    let mut acc = 0.0;
+    for &p in &probs {
+        acc += p;
+        cdf.push(acc);
+    }
+    let total = acc.max(1e-300);
+    for _ in 0..shots {
+        let r: f64 = rng.gen_range(0.0..total);
+        let idx = cdf.partition_point(|&c| c < r).min(probs.len() - 1);
+        counts[idx] += 1;
+    }
+    let mut sampled: Vector<f64> = counts
+        .iter()
+        .zip(direction.iter())
+        .map(|(&c, &d)| {
+            let mag = (c as f64 / shots as f64).sqrt();
+            if d < 0.0 {
+                -mag
+            } else {
+                mag
+            }
+        })
+        .collect();
+    sampled.normalize();
+    sampled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qls_linalg::generate::{
+        random_matrix_with_cond, random_unit_vector, MatrixEnsemble, SingularValueDistribution,
+    };
+    use qls_linalg::lu::lu_solve;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn system(kappa: f64, n: usize, seed: u64) -> (Matrix<f64>, Vector<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = random_matrix_with_cond(
+            n,
+            kappa,
+            SingularValueDistribution::Geometric,
+            MatrixEnsemble::General,
+            &mut rng,
+        );
+        let b = random_unit_vector(n, &mut rng);
+        (a, b)
+    }
+
+    #[test]
+    fn single_solve_reaches_epsilon_l_accuracy() {
+        let (a, b) = system(10.0, 16, 141);
+        let solver = QsvtLinearSolver::new(
+            &a,
+            QsvtSolverOptions {
+                epsilon_l: 1e-3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let result = solver.solve(&b, &mut rng).unwrap();
+        // The scaled residual of a single low-accuracy solve is ≲ ε_l·κ.
+        assert!(result.scaled_residual < 1e-3 * 10.0 * 2.0);
+        // And the solution is close to the LU reference.
+        let reference = lu_solve(&a, &b).unwrap();
+        let err = (&result.solution - &reference).norm2() / reference.norm2();
+        assert!(err < 5e-3, "forward error {err}");
+    }
+
+    #[test]
+    fn scale_recovery_matches_least_squares() {
+        let (a, b) = system(5.0, 8, 142);
+        let solver = QsvtLinearSolver::new(
+            &a,
+            QsvtSolverOptions {
+                epsilon_l: 1e-4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let result = solver.solve(&b, &mut rng).unwrap();
+        // Analytic optimum of min_mu ||mu * (A eta) - b||: mu = (A eta)·b / ||A eta||².
+        let a_eta = a.matvec(&result.direction);
+        let mu_star = a_eta.dot(&b) / a_eta.dot(&a_eta);
+        assert!(
+            (result.scale - mu_star).abs() / mu_star < 1e-5,
+            "Brent {} vs analytic {mu_star}",
+            result.scale
+        );
+    }
+
+    #[test]
+    fn shot_noise_degrades_gracefully() {
+        let (a, b) = system(10.0, 16, 143);
+        let exact = QsvtLinearSolver::new(
+            &a,
+            QsvtSolverOptions {
+                epsilon_l: 1e-4,
+                shots: None,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let sampled = QsvtLinearSolver::new(
+            &a,
+            QsvtSolverOptions {
+                epsilon_l: 1e-4,
+                shots: Some(200_000),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let r_exact = exact.solve(&b, &mut rng).unwrap();
+        let r_sampled = sampled.solve(&b, &mut rng).unwrap();
+        assert!(r_sampled.scaled_residual >= r_exact.scaled_residual * 0.5);
+        // With 2e5 shots the sampled solve is still a usable low-precision solve.
+        assert!(r_sampled.scaled_residual < 0.1);
+    }
+
+    #[test]
+    fn cost_record_is_populated() {
+        let (a, b) = system(10.0, 16, 144);
+        let solver = QsvtLinearSolver::new(
+            &a,
+            QsvtSolverOptions {
+                epsilon_l: 1e-2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let result = solver.solve(&b, &mut rng).unwrap();
+        assert!(result.cost.polynomial_degree > 0);
+        assert_eq!(result.cost.block_encoding_calls, result.cost.polynomial_degree);
+        assert_eq!(result.cost.shots, shots_for_accuracy(1e-2, 1.0));
+        assert!(result.cost.state_prep_flops > 0);
+        assert!(result.cost.brent_evaluations > 0);
+        assert!(result.success_probability > 0.0);
+    }
+
+    #[test]
+    fn sampled_direction_stays_normalised() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let direction = Vector::from_f64_slice(&[0.6, -0.64, 0.48, 0.0]);
+        let sampled = sample_direction(&direction, 10_000, &mut rng);
+        assert!((sampled.norm2() - 1.0).abs() < 1e-12);
+        // Signs preserved.
+        assert!(sampled[1] <= 0.0);
+        assert!(sampled[0] >= 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! The block-encoding abstraction.
+//!
+//! A block-encoding of a matrix `A ∈ C^{2^n × 2^n}` is a unitary `U` on
+//! `n + a` qubits such that `(⟨0|_a ⊗ I) U (|0⟩_a ⊗ I) = A/α` for some
+//! sub-normalisation `α ≥ ‖A‖₂` (Section II-A1 of the paper).  Every concrete
+//! construction in this crate (LCU, FABLE, tridiagonal, dilation) implements
+//! the [`BlockEncoding`] trait; the QSVT layer consumes the trait, so
+//! switching block-encodings never touches the solver.
+//!
+//! Register convention: the **data** register occupies the low `n` qubits and
+//! the **ancillas** the high `a` qubits, so the `A/α` block is the top-left
+//! `2^n × 2^n` block of the circuit's unitary.
+
+use num_complex::Complex64;
+use qls_linalg::Matrix;
+use qls_sim::{circuit_unitary, CMatrix, Circuit, StateVector};
+
+/// A unitary circuit that embeds `A/α` in its `⟨0|_a … |0⟩_a` block.
+pub trait BlockEncoding {
+    /// Number of data qubits `n` (the encoded matrix is `2^n × 2^n`).
+    fn num_data_qubits(&self) -> usize;
+    /// Number of ancilla qubits `a`.
+    fn num_ancilla_qubits(&self) -> usize;
+    /// The sub-normalisation factor `α` with `(⟨0|U|0⟩) = A/α`.
+    fn alpha(&self) -> f64;
+    /// The encoding circuit on `n + a` qubits (data = low qubits).
+    fn circuit(&self) -> &Circuit;
+
+    /// Total number of qubits of the encoding circuit.
+    fn total_qubits(&self) -> usize {
+        self.num_data_qubits() + self.num_ancilla_qubits()
+    }
+
+    /// Human-readable name of the construction (for reports).
+    fn method_name(&self) -> &'static str {
+        "block-encoding"
+    }
+}
+
+/// Extension methods shared by all block-encodings (verification and direct
+/// application, both implemented through the simulator).
+pub trait BlockEncodingExt: BlockEncoding {
+    /// Extract the encoded matrix `α · (⟨0|_a ⊗ I) U (|0⟩_a ⊗ I)` by building
+    /// the circuit unitary (exponential in the register size — use on small
+    /// instances / in tests).
+    fn encoded_matrix(&self) -> CMatrix {
+        let u = circuit_unitary(self.circuit());
+        let dim = 1usize << self.num_data_qubits();
+        let mut block = u.block(0, 0, dim, dim);
+        block.scale(Complex64::new(self.alpha(), 0.0));
+        block
+    }
+
+    /// Maximum absolute entry-wise deviation between the encoded matrix and a
+    /// reference real matrix.
+    fn encoding_error(&self, reference: &Matrix<f64>) -> f64 {
+        self.encoded_matrix().max_abs_diff(&CMatrix::from_real(reference))
+    }
+
+    /// Apply `A/α` to a data-register vector by running the circuit on
+    /// `|0⟩_a ⊗ |ψ⟩` and projecting the ancillas back onto `|0⟩_a`
+    /// (no renormalisation — this is the raw block action, which is what the
+    /// QSVT algebra needs).
+    fn apply(&self, data: &[Complex64]) -> Vec<Complex64> {
+        let n = self.num_data_qubits();
+        let dim = 1usize << n;
+        assert_eq!(data.len(), dim, "data vector dimension mismatch");
+        let norm = data.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return vec![Complex64::new(0.0, 0.0); dim];
+        }
+        // Embed |psi> on the data qubits, ancillas in |0>.
+        let total = self.total_qubits();
+        let mut amps = vec![Complex64::new(0.0, 0.0); 1usize << total];
+        for (i, &a) in data.iter().enumerate() {
+            amps[i] = a / norm;
+        }
+        let mut sv = StateVector::from_amplitudes(amps);
+        sv.apply_circuit(self.circuit());
+        // Project ancillas onto |0>: keep the low-dim amplitudes.
+        sv.project_zeros(&(n..total).collect::<Vec<_>>());
+        sv.amplitudes()[..dim].iter().map(|a| a * norm).collect()
+    }
+
+    /// Apply the *adjoint* block `A†/α` to a data-register vector (runs the
+    /// adjoint circuit).
+    fn apply_adjoint(&self, data: &[Complex64]) -> Vec<Complex64> {
+        let n = self.num_data_qubits();
+        let dim = 1usize << n;
+        assert_eq!(data.len(), dim, "data vector dimension mismatch");
+        let norm = data.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return vec![Complex64::new(0.0, 0.0); dim];
+        }
+        let total = self.total_qubits();
+        let mut amps = vec![Complex64::new(0.0, 0.0); 1usize << total];
+        for (i, &a) in data.iter().enumerate() {
+            amps[i] = a / norm;
+        }
+        let mut sv = StateVector::from_amplitudes(amps);
+        sv.apply_circuit(&self.circuit().adjoint());
+        sv.project_zeros(&(n..total).collect::<Vec<_>>());
+        sv.amplitudes()[..dim].iter().map(|a| a * norm).collect()
+    }
+
+    /// Success probability of post-selecting the ancillas on `|0⟩` when the
+    /// data register holds the normalised vector `ψ`: `‖(A/α)ψ‖²`.
+    fn success_probability(&self, data: &[Complex64]) -> f64 {
+        let norm2: f64 = data.iter().map(|a| a.norm_sqr()).sum();
+        if norm2 == 0.0 {
+            return 0.0;
+        }
+        let out = self.apply(data);
+        out.iter().map(|a| a.norm_sqr()).sum::<f64>() / norm2
+    }
+}
+
+impl<T: BlockEncoding + ?Sized> BlockEncodingExt for T {}
+
+/// Check that a circuit really is a block-encoding of `reference` with the
+/// claimed `alpha`, returning the maximum entry-wise error (test helper shared
+/// by the concrete constructions).
+pub fn verify_block_encoding<B: BlockEncoding>(be: &B, reference: &Matrix<f64>) -> f64 {
+    assert!(
+        circuit_unitary(be.circuit()).is_unitary(1e-10),
+        "block-encoding circuit is not unitary"
+    );
+    be.encoding_error(reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dilation::DilationBlockEncoding;
+    use qls_linalg::Matrix;
+
+    #[test]
+    fn ext_apply_matches_encoded_matrix() {
+        let a = Matrix::from_f64_slice(2, 2, &[0.4, 0.1, -0.2, 0.3]);
+        let be = DilationBlockEncoding::new(&a, 1.0);
+        let encoded = be.encoded_matrix();
+        let v = vec![Complex64::new(0.6, 0.0), Complex64::new(-0.8, 0.0)];
+        let via_apply = be.apply(&v);
+        let via_matrix = encoded.matvec(&v);
+        for (x, y) in via_apply.iter().zip(&via_matrix) {
+            assert!((x - y / be.alpha()).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn success_probability_matches_norm_reduction() {
+        let a = Matrix::from_f64_slice(2, 2, &[0.5, 0.0, 0.0, 0.1]);
+        let be = DilationBlockEncoding::new(&a, 1.0);
+        let v = vec![Complex64::new(1.0, 0.0), Complex64::new(0.0, 0.0)];
+        // (A/alpha) e_0 = 0.5 e_0, success probability 0.25.
+        assert!((be.success_probability(&v) - 0.25).abs() < 1e-12);
+    }
+}

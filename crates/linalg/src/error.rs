@@ -1,0 +1,151 @@
+//! Error metrics for computed solutions of linear systems.
+//!
+//! The paper's stopping criterion is the *scaled residual*
+//! `ω = ‖b − A x̃‖ / ‖b‖` (Section III-A), chosen because it is invariant to a
+//! common rescaling of `A x` and `b` — exactly what happens when quantum
+//! algorithms force `b` to be normalised.  Equation (5) sandwiches the relative
+//! forward error between `ω/κ` and `κ ω`; these bounds are implemented here as
+//! well so tests and experiment reports can verify the claim numerically.
+
+use crate::matrix::Matrix;
+use crate::scalar::Real;
+use crate::vector::Vector;
+
+/// The scaled residual `ω = ‖b − A x̃‖₂ / ‖b‖₂` of a computed solution.
+pub fn scaled_residual<T: Real>(a: &Matrix<T>, x: &Vector<T>, b: &Vector<T>) -> T {
+    let r = b - &a.matvec(x);
+    let nb = b.norm2();
+    if nb == T::zero() {
+        r.norm2()
+    } else {
+        r.norm2() / nb
+    }
+}
+
+/// Relative forward error `‖x − x̃‖₂ / ‖x‖₂` with respect to a reference
+/// solution `x_true`.
+pub fn forward_error<T: Real>(x_computed: &Vector<T>, x_true: &Vector<T>) -> T {
+    let nx = x_true.norm2();
+    let diff = (x_computed - x_true).norm2();
+    if nx == T::zero() {
+        diff
+    } else {
+        diff / nx
+    }
+}
+
+/// Norm-wise relative backward error of Rigal–Gaches:
+/// `η(x̃) = ‖b − A x̃‖ / (‖A‖·‖x̃‖ + ‖b‖)`.
+///
+/// A solution is "backward stable" when η is of the order of the working
+/// precision, regardless of the conditioning of `A`.
+pub fn backward_error<T: Real>(a: &Matrix<T>, x: &Vector<T>, b: &Vector<T>) -> T {
+    let r = b - &a.matvec(x);
+    let denom = a.norm_frobenius() * x.norm2() + b.norm2();
+    if denom == T::zero() {
+        r.norm2()
+    } else {
+        r.norm2() / denom
+    }
+}
+
+/// The two-sided bound of Eq. (5) of the paper:
+/// `ω/κ ≤ ‖x − x̃‖/‖x‖ ≤ κ ω`, returned as `(lower, upper)`.
+pub fn forward_error_bounds_from_residual<T: Real>(omega: T, kappa: T) -> (T, T) {
+    (omega / kappa, kappa * omega)
+}
+
+/// Verify Eq. (5) for a concrete triple `(A, x̃, b)` with known true solution:
+/// returns `true` when the relative forward error lies inside `[ω/κ·(1−slack),
+/// κ·ω·(1+slack)]`.  A small slack tolerates rounding in the norm computations.
+pub fn check_eq5_bounds<T: Real>(
+    a: &Matrix<T>,
+    x_computed: &Vector<T>,
+    x_true: &Vector<T>,
+    b: &Vector<T>,
+    kappa: T,
+    slack: T,
+) -> bool {
+    let omega = scaled_residual(a, x_computed, b);
+    let fwd = forward_error(x_computed, x_true);
+    let (lo, hi) = forward_error_bounds_from_residual(omega, kappa);
+    fwd >= lo * (T::one() - slack) && fwd <= hi * (T::one() + slack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::cond_2;
+    use crate::generate::{random_matrix_with_cond, MatrixEnsemble, SingularValueDistribution};
+    use crate::lu::lu_solve;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn exact_solution_has_zero_residual_and_error() {
+        let a = Matrix::<f64>::from_f64_slice(2, 2, &[2.0, 0.0, 0.0, 3.0]);
+        let x = Vector::from_f64_slice(&[1.0, 2.0]);
+        let b = a.matvec(&x);
+        assert_eq!(scaled_residual(&a, &x, &b), 0.0);
+        assert_eq!(forward_error(&x, &x), 0.0);
+        assert_eq!(backward_error(&a, &x, &b), 0.0);
+    }
+
+    #[test]
+    fn residual_scale_invariance() {
+        // omega is unchanged when A x = b is rescaled to (cA) x = (cb).
+        let a = Matrix::from_f64_slice(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let x = Vector::from_f64_slice(&[0.9, 1.1]); // inexact solution
+        let b = Vector::from_f64_slice(&[3.0, 7.0]);
+        let w1 = scaled_residual(&a, &x, &b);
+        let c = 1e-3;
+        let w2 = scaled_residual(&a.scaled(c), &x, &b.scaled(c));
+        assert!((w1 - w2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eq5_bounds_hold_for_lu_solutions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        for &kappa in &[10.0, 100.0] {
+            let a = random_matrix_with_cond(
+                16,
+                kappa,
+                SingularValueDistribution::Geometric,
+                MatrixEnsemble::General,
+                &mut rng,
+            );
+            let x_true = Vector::from_f64_slice(&(0..16).map(|i| (i as f64).cos()).collect::<Vec<_>>());
+            let b = a.matvec(&x_true);
+            // Perturb the LU solution slightly to make the bound non-trivial.
+            let mut x = lu_solve(&a, &b).unwrap();
+            x[0] += 1e-6;
+            let k = cond_2(&a);
+            assert!(check_eq5_bounds(&a, &x, &x_true, &b, k, 1e-6));
+        }
+    }
+
+    #[test]
+    fn backward_error_small_for_stable_solver() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let a = random_matrix_with_cond(
+            32,
+            1e6,
+            SingularValueDistribution::Geometric,
+            MatrixEnsemble::General,
+            &mut rng,
+        );
+        let x_true = Vector::from_f64_slice(&(0..32).map(|i| 1.0 + i as f64).collect::<Vec<_>>());
+        let b = a.matvec(&x_true);
+        let x = lu_solve(&a, &b).unwrap();
+        // Even for kappa = 1e6 the backward error of LU stays near machine eps.
+        assert!(backward_error(&a, &x, &b) < 1e-13);
+    }
+
+    #[test]
+    fn zero_rhs_handled() {
+        let a = Matrix::<f64>::identity(3);
+        let x = Vector::from_f64_slice(&[1.0, 0.0, 0.0]);
+        let b = Vector::zeros(3);
+        assert_eq!(scaled_residual(&a, &x, &b), 1.0);
+    }
+}

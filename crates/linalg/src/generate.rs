@@ -1,0 +1,316 @@
+//! Test-matrix and test-vector generators.
+//!
+//! Section IV of the paper evaluates the solver on "randomly generated"
+//! matrices with prescribed condition numbers (κ = 10, 100, 200, 300, …) and
+//! unit-norm right-hand sides.  The standard way to build such matrices is
+//! `A = U Σ Vᵀ` with Haar-random orthogonal `U`, `V` and a chosen singular
+//! value profile; this module implements that construction plus a symmetric
+//! positive-definite variant and uniform random matrices.
+
+use crate::matrix::Matrix;
+use crate::qr::QrFactorization;
+use crate::vector::Vector;
+use rand::Rng;
+
+/// How the singular values are distributed between 1 and 1/κ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SingularValueDistribution {
+    /// Geometric spacing: σ_i = κ^{-(i-1)/(n-1)} (LAPACK "mode 3", the default
+    /// used in mixed-precision iterative-refinement studies).
+    Geometric,
+    /// Arithmetic (linear) spacing between 1 and 1/κ.
+    Arithmetic,
+    /// One large singular value, all the others equal to 1/κ (LAPACK "mode 1").
+    OneLarge,
+    /// All singular values equal to 1 except the smallest equal to 1/κ
+    /// (LAPACK "mode 2").
+    OneSmall,
+    /// Clustered: half the spectrum at 1, half at 1/κ.
+    Clustered,
+}
+
+impl SingularValueDistribution {
+    /// Generate `n` singular values in `[1/κ, 1]`, sorted in non-increasing
+    /// order, with σ_max = 1 and σ_min = 1/κ (so κ₂ = κ exactly).
+    pub fn singular_values(self, n: usize, kappa: f64) -> Vec<f64> {
+        assert!(n >= 1, "need at least one singular value");
+        assert!(kappa >= 1.0, "condition number must be >= 1");
+        if n == 1 {
+            return vec![1.0];
+        }
+        let smin = 1.0 / kappa;
+        let mut sv: Vec<f64> = match self {
+            SingularValueDistribution::Geometric => (0..n)
+                .map(|i| kappa.powf(-(i as f64) / (n as f64 - 1.0)))
+                .collect(),
+            SingularValueDistribution::Arithmetic => (0..n)
+                .map(|i| 1.0 - (1.0 - smin) * (i as f64) / (n as f64 - 1.0))
+                .collect(),
+            SingularValueDistribution::OneLarge => {
+                let mut v = vec![smin; n];
+                v[0] = 1.0;
+                v
+            }
+            SingularValueDistribution::OneSmall => {
+                let mut v = vec![1.0; n];
+                v[n - 1] = smin;
+                v
+            }
+            SingularValueDistribution::Clustered => {
+                let half = n / 2;
+                let mut v = vec![1.0; n];
+                for item in v.iter_mut().skip(half) {
+                    *item = smin;
+                }
+                v
+            }
+        };
+        // Enforce the extremes exactly so cond_2 == kappa.
+        sv[0] = 1.0;
+        sv[n - 1] = smin;
+        sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        sv
+    }
+}
+
+/// Which matrix ensemble to draw the orthogonal factors from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixEnsemble {
+    /// General nonsymmetric matrix: independent Haar-random U and V.
+    General,
+    /// Symmetric positive definite: A = Q Σ Qᵀ with a single Haar-random Q.
+    SymmetricPositiveDefinite,
+    /// Symmetric indefinite: A = Q D Qᵀ with alternating signs on the diagonal.
+    SymmetricIndefinite,
+}
+
+/// Draw an n×n matrix with independent standard-normal entries
+/// (Box–Muller transform so only a uniform RNG is required).
+pub fn random_gaussian_matrix<R: Rng>(n: usize, rng: &mut R) -> Matrix<f64> {
+    Matrix::from_fn(n, n, |_, _| {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    })
+}
+
+/// Draw a Haar-distributed random orthogonal matrix (QR of a Gaussian matrix,
+/// with the sign convention fixed so the distribution is exactly Haar).
+pub fn random_orthogonal<R: Rng>(n: usize, rng: &mut R) -> Matrix<f64> {
+    let g = random_gaussian_matrix(n, rng);
+    let qr = QrFactorization::new(&g).expect("QR of a random Gaussian matrix");
+    let mut q = qr.q();
+    let r = qr.r();
+    // Fix signs: multiply column j of Q by sign(r_jj) so the factorisation is
+    // unique and Q is Haar-distributed.
+    for j in 0..n {
+        if r[(j, j)] < 0.0 {
+            for i in 0..n {
+                q[(i, j)] = -q[(i, j)];
+            }
+        }
+    }
+    q
+}
+
+/// Generate a random n×n matrix with 2-norm condition number exactly `kappa`,
+/// spectral norm 1, and the requested singular-value profile / symmetry.
+pub fn random_matrix_with_cond<R: Rng>(
+    n: usize,
+    kappa: f64,
+    dist: SingularValueDistribution,
+    ensemble: MatrixEnsemble,
+    rng: &mut R,
+) -> Matrix<f64> {
+    let sv = dist.singular_values(n, kappa);
+    match ensemble {
+        MatrixEnsemble::General => {
+            let u = random_orthogonal(n, rng);
+            let v = random_orthogonal(n, rng);
+            let mut us = u;
+            for j in 0..n {
+                for i in 0..n {
+                    us[(i, j)] *= sv[j];
+                }
+            }
+            us.matmul(&v.transpose())
+        }
+        MatrixEnsemble::SymmetricPositiveDefinite => {
+            let q = random_orthogonal(n, rng);
+            let mut qs = q.clone();
+            for j in 0..n {
+                for i in 0..n {
+                    qs[(i, j)] *= sv[j];
+                }
+            }
+            qs.matmul(&q.transpose())
+        }
+        MatrixEnsemble::SymmetricIndefinite => {
+            let q = random_orthogonal(n, rng);
+            let mut qs = q.clone();
+            for j in 0..n {
+                let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+                for i in 0..n {
+                    qs[(i, j)] *= sv[j] * sign;
+                }
+            }
+            qs.matmul(&q.transpose())
+        }
+    }
+}
+
+/// Generate a random vector with independent uniform entries in [-1, 1],
+/// normalised to unit Euclidean norm (the paper fixes ‖b‖ = 1).
+pub fn random_unit_vector<R: Rng>(n: usize, rng: &mut R) -> Vector<f64> {
+    loop {
+        let mut v: Vector<f64> =
+            (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect::<Vector<f64>>();
+        let norm = v.normalize();
+        if norm > 1e-12 {
+            return v;
+        }
+    }
+}
+
+/// Generate a right-hand side with a known solution: returns `(b, x_true)`
+/// where `b = A x_true` and `x_true` has uniform entries in [-1, 1].
+pub fn rhs_with_known_solution<R: Rng>(
+    a: &Matrix<f64>,
+    rng: &mut R,
+) -> (Vector<f64>, Vector<f64>) {
+    let n = a.ncols();
+    let x_true: Vector<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b = a.matvec(&x_true);
+    (b, x_true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::cond_2;
+    use crate::svd::Svd;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn singular_value_profiles_hit_extremes() {
+        for dist in [
+            SingularValueDistribution::Geometric,
+            SingularValueDistribution::Arithmetic,
+            SingularValueDistribution::OneLarge,
+            SingularValueDistribution::OneSmall,
+            SingularValueDistribution::Clustered,
+        ] {
+            let sv = dist.singular_values(8, 100.0);
+            assert_eq!(sv.len(), 8);
+            assert!((sv[0] - 1.0).abs() < 1e-15);
+            assert!((sv[7] - 0.01).abs() < 1e-15);
+            for w in sv.windows(2) {
+                assert!(w[0] >= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn orthogonal_matrices_are_orthogonal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let q = random_orthogonal(10, &mut rng);
+        let qtq = q.transpose().matmul(&q);
+        assert!(qtq.max_abs_diff(&Matrix::identity(10)) < 1e-12);
+    }
+
+    #[test]
+    fn generated_matrix_has_requested_cond_and_unit_norm() {
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        let a = random_matrix_with_cond(
+            16,
+            200.0,
+            SingularValueDistribution::Geometric,
+            MatrixEnsemble::General,
+            &mut rng,
+        );
+        let svd = Svd::new(&a);
+        assert!((svd.norm2() - 1.0).abs() < 1e-10);
+        assert!((svd.cond() - 200.0).abs() / 200.0 < 1e-8);
+    }
+
+    #[test]
+    fn spd_matrix_is_symmetric_with_positive_eigenvalues() {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let a = random_matrix_with_cond(
+            8,
+            50.0,
+            SingularValueDistribution::Geometric,
+            MatrixEnsemble::SymmetricPositiveDefinite,
+            &mut rng,
+        );
+        assert!(a.is_symmetric(1e-12));
+        // Positive definiteness: xᵀAx > 0 for a few random x.
+        for seed in 0..5u64 {
+            let mut r2 = ChaCha8Rng::seed_from_u64(100 + seed);
+            let x = random_unit_vector(8, &mut r2);
+            assert!(x.dot(&a.matvec(&x)) > 0.0);
+        }
+        assert!((cond_2(&a) - 50.0).abs() / 50.0 < 1e-8);
+    }
+
+    #[test]
+    fn symmetric_indefinite_is_symmetric() {
+        let mut rng = ChaCha8Rng::seed_from_u64(34);
+        let a = random_matrix_with_cond(
+            8,
+            20.0,
+            SingularValueDistribution::Geometric,
+            MatrixEnsemble::SymmetricIndefinite,
+            &mut rng,
+        );
+        assert!(a.is_symmetric(1e-12));
+        assert!((cond_2(&a) - 20.0).abs() / 20.0 < 1e-8);
+    }
+
+    #[test]
+    fn unit_vector_has_norm_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(35);
+        let v = random_unit_vector(16, &mut rng);
+        assert!((v.norm2() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn rhs_with_known_solution_is_consistent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(36);
+        let a = random_matrix_with_cond(
+            8,
+            10.0,
+            SingularValueDistribution::Geometric,
+            MatrixEnsemble::General,
+            &mut rng,
+        );
+        let (b, x) = rhs_with_known_solution(&a, &mut rng);
+        assert!((&a.matvec(&x) - &b).norm2() < 1e-14);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a1 = {
+            let mut rng = ChaCha8Rng::seed_from_u64(37);
+            random_matrix_with_cond(
+                8,
+                10.0,
+                SingularValueDistribution::Geometric,
+                MatrixEnsemble::General,
+                &mut rng,
+            )
+        };
+        let a2 = {
+            let mut rng = ChaCha8Rng::seed_from_u64(37);
+            random_matrix_with_cond(
+                8,
+                10.0,
+                SingularValueDistribution::Geometric,
+                MatrixEnsemble::General,
+                &mut rng,
+            )
+        };
+        assert_eq!(a1, a2);
+    }
+}

@@ -1,0 +1,59 @@
+//! # qls-linalg
+//!
+//! Classical dense linear-algebra substrate for the mixed-precision
+//! quantum-classical linear solver.
+//!
+//! The paper ("A mixed-precision quantum-classical algorithm for solving
+//! linear systems", Koska–Baboulin–Gazda) relies on a classical processor for
+//! several tasks: computing residuals and solution updates in high precision,
+//! generating test matrices with prescribed condition numbers, recovering the
+//! solution norm with Brent's method, and providing a reference solver (LU)
+//! against which the hybrid solver is validated.  This crate provides all of
+//! that, from scratch:
+//!
+//! * generic [`Real`](scalar::Real) scalar abstraction over `f32`, `f64` and a
+//!   software-emulated reduced precision ([`Emulated`](precision::Emulated)),
+//!   so the classical mixed-precision regime `u ≪ u_l` of the paper can be
+//!   reproduced deterministically;
+//! * dense [`Matrix`](matrix::Matrix) and [`Vector`](vector::Vector) types with
+//!   the usual kernels (mat-vec, mat-mat, transpose, norms);
+//! * LU factorisation with partial pivoting ([`lu`]), Householder QR ([`qr`]),
+//!   one-sided Jacobi SVD ([`svd`]) and condition-number computation ([`cond`]);
+//! * matrix generators ([`generate`]): random matrices with prescribed
+//!   condition number / singular-value distribution and the 1-D Poisson
+//!   tridiagonal matrix of Eq. (7) of the paper;
+//! * classical fixed- and mixed-precision iterative refinement ([`refine`],
+//!   Algorithm 1 of the paper) used as the CPU-only baseline;
+//! * Brent's derivative-free 1-D minimisation and root finding ([`brent`]),
+//!   used for the solution-norm recovery of Remark 2;
+//! * forward/backward error metrics and the scaled residual ω ([`error`]).
+
+pub mod brent;
+pub mod cond;
+pub mod error;
+pub mod generate;
+pub mod lu;
+pub mod matrix;
+pub mod precision;
+pub mod qr;
+pub mod refine;
+pub mod scalar;
+pub mod svd;
+pub mod tridiag;
+pub mod vector;
+
+pub use brent::{brent_minimize, brent_root, BrentResult};
+pub use cond::{cond_1_estimate, cond_2, cond_inf};
+pub use error::{backward_error, forward_error, scaled_residual};
+pub use generate::{
+    random_matrix_with_cond, random_unit_vector, MatrixEnsemble, SingularValueDistribution,
+};
+pub use lu::LuFactorization;
+pub use matrix::Matrix;
+pub use precision::{Emulated, Precision};
+pub use qr::QrFactorization;
+pub use refine::{ClassicalRefiner, RefinementHistory, RefinementOptions, RefinementStatus};
+pub use scalar::Real;
+pub use svd::Svd;
+pub use tridiag::{poisson_1d, poisson_1d_condition_number, poisson_1d_eigenvalues, TridiagonalMatrix};
+pub use vector::Vector;

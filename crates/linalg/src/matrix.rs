@@ -1,0 +1,538 @@
+//! Dense row-major matrices.
+//!
+//! The problem sizes in the paper's experiments are tiny (N = 16), but the
+//! classical cost model covers general dense matrices, so the kernels here are
+//! written the way a production dense-LA library would write them: row-major
+//! contiguous storage, cache-friendly loop ordering for the matrix product,
+//! and rayon parallelism over rows once the work is large enough to amortise
+//! the fork/join overhead.
+
+use crate::scalar::Real;
+use crate::vector::Vector;
+use rayon::prelude::*;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// Minimum number of scalar multiply-adds before a kernel switches to rayon.
+///
+/// Below this threshold the sequential loop is faster than spawning tasks; the
+/// value is deliberately conservative (≈ a few microseconds of work).
+const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// A dense row-major matrix over a [`Real`] scalar type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T: Real> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Real> Matrix<T> {
+    /// Create a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
+    }
+
+    /// Create the identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::one();
+        }
+        m
+    }
+
+    /// Create a matrix from a row-major data vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Create a matrix from a row-major `f64` slice, rounding into precision `T`.
+    pub fn from_f64_slice(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_f64_slice: length mismatch");
+        Matrix {
+            rows,
+            cols,
+            data: data.iter().map(|&x| T::from_f64(x)).collect(),
+        }
+    }
+
+    /// Create a matrix by evaluating `f(i, j)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Create a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[T]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// True when the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the underlying row-major storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[T] {
+        assert!(i < self.rows, "row index out of range");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        assert!(i < self.rows, "row index out of range");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Extract column `j` as a vector.
+    pub fn col(&self, j: usize) -> Vector<T> {
+        assert!(j < self.cols, "column index out of range");
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Set column `j` from a vector.
+    pub fn set_col(&mut self, j: usize, v: &Vector<T>) {
+        assert!(j < self.cols, "column index out of range");
+        assert_eq!(v.len(), self.rows, "set_col: dimension mismatch");
+        for i in 0..self.rows {
+            self[(i, j)] = v[i];
+        }
+    }
+
+    /// The diagonal entries.
+    pub fn diag(&self) -> Vec<T> {
+        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Swap rows `a` and `b`.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        assert!(a < self.rows && b < self.rows, "swap_rows: index out of range");
+        let c = self.cols;
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (first, second) = self.data.split_at_mut(hi * c);
+        first[lo * c..lo * c + c].swap_with_slice(&mut second[..c]);
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `A x`.
+    pub fn matvec(&self, x: &Vector<T>) -> Vector<T> {
+        assert_eq!(self.cols, x.len(), "matvec: dimension mismatch");
+        let xs = x.as_slice();
+        let work = self.rows * self.cols;
+        let compute_row = |row: &[T]| -> T {
+            row.iter()
+                .zip(xs)
+                .fold(T::zero(), |acc, (&a, &b)| a.mul_add(b, acc))
+        };
+        let data: Vec<T> = if work >= PAR_THRESHOLD {
+            (0..self.rows)
+                .into_par_iter()
+                .map(|i| compute_row(self.row(i)))
+                .collect()
+        } else {
+            (0..self.rows).map(|i| compute_row(self.row(i))).collect()
+        };
+        Vector::from_vec(data)
+    }
+
+    /// Transposed matrix-vector product `Aᵀ x`.
+    pub fn matvec_transposed(&self, x: &Vector<T>) -> Vector<T> {
+        assert_eq!(self.rows, x.len(), "matvec_transposed: dimension mismatch");
+        let mut out = Vector::zeros(self.cols);
+        for i in 0..self.rows {
+            let xi = x[i];
+            let row = self.row(i);
+            for j in 0..self.cols {
+                out[j] = row[j].mul_add(xi, out[j]);
+            }
+        }
+        out
+    }
+
+    /// Matrix product `A B` (ikj loop order, rayon over rows of `A` when large).
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
+        let m = self.rows;
+        let k = self.cols;
+        let n = other.cols;
+        let work = m * k * n;
+        let compute_row = |i: usize, out_row: &mut [T]| {
+            for kk in 0..k {
+                let a = self[(i, kk)];
+                if a == T::zero() {
+                    continue;
+                }
+                let brow = other.row(kk);
+                for j in 0..n {
+                    out_row[j] = a.mul_add(brow[j], out_row[j]);
+                }
+            }
+        };
+        let mut data = vec![T::zero(); m * n];
+        if work >= PAR_THRESHOLD {
+            data.par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, out_row)| compute_row(i, out_row));
+        } else {
+            for (i, out_row) in data.chunks_mut(n).enumerate() {
+                compute_row(i, out_row);
+            }
+        }
+        Matrix {
+            rows: m,
+            cols: n,
+            data,
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> T {
+        let maxabs = self.data.iter().fold(T::zero(), |acc, x| acc.max(x.abs()));
+        if maxabs == T::zero() {
+            return T::zero();
+        }
+        let sum = self.data.iter().fold(T::zero(), |acc, &x| {
+            let s = x / maxabs;
+            s.mul_add(s, acc)
+        });
+        maxabs * sum.sqrt()
+    }
+
+    /// Maximum absolute row sum (∞-norm).
+    pub fn norm_inf(&self) -> T {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().fold(T::zero(), |acc, x| acc + x.abs()))
+            .fold(T::zero(), |acc, s| acc.max(s))
+    }
+
+    /// Maximum absolute column sum (1-norm).
+    pub fn norm_1(&self) -> T {
+        (0..self.cols)
+            .map(|j| (0..self.rows).fold(T::zero(), |acc, i| acc + self[(i, j)].abs()))
+            .fold(T::zero(), |acc, s| acc.max(s))
+    }
+
+    /// Largest absolute entry (max-norm, not submultiplicative).
+    pub fn norm_max(&self) -> T {
+        self.data.iter().fold(T::zero(), |acc, x| acc.max(x.abs()))
+    }
+
+    /// Maximum absolute entry-wise difference with another matrix.
+    pub fn max_abs_diff(&self, other: &Self) -> T {
+        assert_eq!(self.rows, other.rows, "max_abs_diff: shape mismatch");
+        assert_eq!(self.cols, other.cols, "max_abs_diff: shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(T::zero(), |acc, (&a, &b)| acc.max((a - b).abs()))
+    }
+
+    /// Scale every entry by `alpha` in place.
+    pub fn scale(&mut self, alpha: T) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Return `alpha * self`.
+    pub fn scaled(&self, alpha: T) -> Self {
+        let mut out = self.clone();
+        out.scale(alpha);
+        out
+    }
+
+    /// Convert every entry to `f64`.
+    pub fn to_f64(&self) -> Matrix<f64> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x.to_f64()).collect(),
+        }
+    }
+
+    /// Convert into another precision, rounding element-wise.
+    pub fn convert<S: Real>(&self) -> Matrix<S> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| S::from_f64(x.to_f64())).collect(),
+        }
+    }
+
+    /// True if `|a_ij - a_ji| <= tol` for all entries of a square matrix.
+    pub fn is_symmetric(&self, tol: T) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl<T: Real> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols, "index out of range");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Real> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols, "index out of range");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Real> Add for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn add(self, rhs: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(self.rows, rhs.rows, "add: shape mismatch");
+        assert_eq!(self.cols, rhs.cols, "add: shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl<T: Real> Sub for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn sub(self, rhs: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(self.rows, rhs.rows, "sub: shape mismatch");
+        assert_eq!(self.cols, rhs.cols, "sub: shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl<T: Real> Neg for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn neg(self) -> Matrix<T> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| -a).collect(),
+        }
+    }
+}
+
+impl<T: Real> Mul for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn mul(self, rhs: &Matrix<T>) -> Matrix<T> {
+        self.matmul(rhs)
+    }
+}
+
+impl<T: Real> Mul<&Vector<T>> for &Matrix<T> {
+    type Output = Vector<T>;
+    fn mul(self, rhs: &Vector<T>) -> Vector<T> {
+        self.matvec(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m2(data: [f64; 4]) -> Matrix<f64> {
+        Matrix::from_f64_slice(2, 2, &data)
+    }
+
+    #[test]
+    fn identity_and_indexing() {
+        let i3 = Matrix::<f64>::identity(3);
+        assert_eq!(i3[(0, 0)], 1.0);
+        assert_eq!(i3[(0, 1)], 0.0);
+        assert_eq!(i3.diag(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let a = m2([1.0, 2.0, 3.0, 4.0]);
+        let x = Vector::from_f64_slice(&[1.0, 1.0]);
+        let y = a.matvec(&x);
+        assert_eq!(y.as_slice(), &[3.0, 7.0]);
+        let yt = a.matvec_transposed(&x);
+        assert_eq!(yt.as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = m2([1.0, 2.0, 3.0, 4.0]);
+        let b = m2([0.0, 1.0, 1.0, 0.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[2.0, 1.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::<f64>::from_fn(5, 5, |i, j| (i * 5 + j) as f64);
+        let i5 = Matrix::<f64>::identity(5);
+        assert_eq!(a.matmul(&i5), a);
+        assert_eq!(i5.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::<f64>::from_fn(3, 4, |i, j| (i + 2 * j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().nrows(), 4);
+    }
+
+    #[test]
+    fn norms_on_known_matrix() {
+        let a = m2([1.0, -2.0, -3.0, 4.0]);
+        assert_eq!(a.norm_inf(), 7.0); // row sums 3, 7
+        assert_eq!(a.norm_1(), 6.0); // col sums 4, 6
+        assert_eq!(a.norm_max(), 4.0);
+        assert!((a.norm_frobenius() - 30f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn swap_rows_works() {
+        let mut a = Matrix::<f64>::from_fn(3, 2, |i, _| i as f64);
+        a.swap_rows(0, 2);
+        assert_eq!(a.row(0), &[2.0, 2.0]);
+        assert_eq!(a.row(2), &[0.0, 0.0]);
+        a.swap_rows(1, 1); // no-op
+        assert_eq!(a.row(1), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn col_and_set_col() {
+        let mut a = Matrix::<f64>::zeros(3, 3);
+        let v = Vector::from_f64_slice(&[1.0, 2.0, 3.0]);
+        a.set_col(1, &v);
+        assert_eq!(a.col(1).as_slice(), v.as_slice());
+        assert_eq!(a.col(0).as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        let s = m2([2.0, 1.0, 1.0, 3.0]);
+        assert!(s.is_symmetric(0.0));
+        let ns = m2([2.0, 1.0, 1.5, 3.0]);
+        assert!(!ns.is_symmetric(0.1));
+        assert!(ns.is_symmetric(1.0));
+    }
+
+    #[test]
+    fn operators() {
+        let a = m2([1.0, 2.0, 3.0, 4.0]);
+        let b = m2([4.0, 3.0, 2.0, 1.0]);
+        assert_eq!((&a + &b).as_slice(), &[5.0; 4]);
+        assert_eq!((&a - &a).norm_frobenius(), 0.0);
+        assert_eq!((-&a)[(1, 1)], -4.0);
+        let x = Vector::from_f64_slice(&[1.0, 0.0]);
+        assert_eq!((&a * &x).as_slice(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn large_parallel_matmul_agrees_with_small_path() {
+        // Exercise the rayon path and compare against the naive triple loop.
+        let n = 80; // 80^3 > PAR_THRESHOLD
+        let a = Matrix::<f64>::from_fn(n, n, |i, j| ((i * 7 + j * 13) % 17) as f64 / 17.0);
+        let b = Matrix::<f64>::from_fn(n, n, |i, j| ((i * 3 + j * 5) % 11) as f64 / 11.0);
+        let c = a.matmul(&b);
+        // Naive check of a few entries.
+        for &(i, j) in &[(0usize, 0usize), (7, 63), (79, 79), (40, 2)] {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += a[(i, k)] * b[(k, j)];
+            }
+            assert!((c[(i, j)] - s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_diag_builds_diagonal() {
+        let d = Matrix::<f64>::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        assert_eq!(d.diag(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_matmul_panics() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,368 @@
+//! Classical mixed-precision iterative refinement (Algorithm 1 of the paper).
+//!
+//! This is the CPU-only counterpart of the paper's hybrid algorithm: the
+//! expensive work (LU factorisation and the triangular solves) runs at a *low*
+//! precision `L`, while the residual and the solution update are computed at
+//! the *working* precision `H` (`u ≪ u_l` in the paper's notation).  The LU
+//! factors computed for the first solve are reused for every correction solve,
+//! exactly as described in Section II-B.
+//!
+//! The same driver also covers *fixed-precision* refinement (`L = H`), used
+//! classically to stabilise a solver, and serves as the reference
+//! implementation against which the quantum-assisted refiner of `qls-core`
+//! is validated: both must exhibit the geometric residual contraction of
+//! Theorem III.1 with the appropriate contraction factor.
+
+use crate::error::scaled_residual;
+use crate::lu::{LinalgError, LuFactorization};
+use crate::matrix::Matrix;
+use crate::scalar::Real;
+use crate::vector::Vector;
+
+/// Options controlling an iterative-refinement run.
+#[derive(Debug, Clone, Copy)]
+pub struct RefinementOptions {
+    /// Target scaled residual ω = ‖b − A x̃‖/‖b‖ (the paper's ε).
+    pub target_scaled_residual: f64,
+    /// Hard cap on the number of refinement iterations.
+    pub max_iterations: usize,
+    /// Stop early when the scaled residual stops decreasing by at least this
+    /// multiplicative factor between iterations (stagnation detection).
+    pub stagnation_factor: f64,
+}
+
+impl Default for RefinementOptions {
+    fn default() -> Self {
+        RefinementOptions {
+            target_scaled_residual: 1e-12,
+            max_iterations: 50,
+            stagnation_factor: 0.9,
+        }
+    }
+}
+
+/// Why the refinement loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefinementStatus {
+    /// The target scaled residual was reached.
+    Converged,
+    /// The maximum number of iterations was reached first.
+    MaxIterations,
+    /// The scaled residual stopped improving (limiting accuracy reached).
+    Stagnated,
+    /// The residual grew — the low-precision solver is too inaccurate
+    /// (ε_l·κ ≥ 1 in the language of Theorem III.1).
+    Diverged,
+}
+
+/// Record of one refinement iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct RefinementStep {
+    /// Iteration index (0 = initial solve).
+    pub iteration: usize,
+    /// Scaled residual after this iteration.
+    pub scaled_residual: f64,
+    /// Norm of the correction applied at this iteration (0 for the initial solve).
+    pub correction_norm: f64,
+}
+
+/// Full convergence history of a refinement run.
+#[derive(Debug, Clone)]
+pub struct RefinementHistory {
+    /// Per-iteration records, starting with the initial solve.
+    pub steps: Vec<RefinementStep>,
+    /// Termination reason.
+    pub status: RefinementStatus,
+}
+
+impl RefinementHistory {
+    /// Number of *refinement* iterations performed (excludes the initial solve).
+    pub fn iterations(&self) -> usize {
+        self.steps.len().saturating_sub(1)
+    }
+
+    /// The final scaled residual.
+    pub fn final_residual(&self) -> f64 {
+        self.steps.last().map(|s| s.scaled_residual).unwrap_or(f64::NAN)
+    }
+
+    /// The per-iteration contraction factors ω_{i+1}/ω_i.
+    pub fn contraction_factors(&self) -> Vec<f64> {
+        self.steps
+            .windows(2)
+            .map(|w| {
+                if w[0].scaled_residual == 0.0 {
+                    0.0
+                } else {
+                    w[1].scaled_residual / w[0].scaled_residual
+                }
+            })
+            .collect()
+    }
+
+    /// True if the scaled residual decreased monotonically until the end
+    /// (allowing the final step to flatten once limiting accuracy is reached).
+    pub fn is_monotone(&self) -> bool {
+        self.steps
+            .windows(2)
+            .all(|w| w[1].scaled_residual <= w[0].scaled_residual * (1.0 + 1e-12))
+    }
+}
+
+/// Classical mixed-precision iterative refinement driver.
+///
+/// Type parameters: `H` is the working (high) precision used for the residual
+/// and the update; `L` is the low precision used for the factorisation and the
+/// triangular solves.
+#[derive(Debug)]
+pub struct ClassicalRefiner<H: Real, L: Real> {
+    a_high: Matrix<H>,
+    lu_low: LuFactorization<L>,
+    options: RefinementOptions,
+}
+
+impl<H: Real, L: Real> ClassicalRefiner<H, L> {
+    /// Prepare a refiner: stores `A` at precision `H` and factorises it once at
+    /// precision `L`.
+    pub fn new(a: &Matrix<H>, options: RefinementOptions) -> Result<Self, LinalgError> {
+        let a_low: Matrix<L> = a.convert();
+        let lu_low = LuFactorization::new(&a_low)?;
+        Ok(ClassicalRefiner {
+            a_high: a.clone(),
+            lu_low,
+            options,
+        })
+    }
+
+    /// The options this refiner was built with.
+    pub fn options(&self) -> &RefinementOptions {
+        &self.options
+    }
+
+    /// Solve `A x = b` by low-precision LU + high-precision refinement,
+    /// returning the solution at precision `H` and the convergence history.
+    pub fn solve(&self, b: &Vector<H>) -> Result<(Vector<H>, RefinementHistory), LinalgError> {
+        let n = self.a_high.nrows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        // Initial solve at low precision.
+        let b_low: Vector<L> = b.convert();
+        let x_low = self.lu_low.solve(&b_low)?;
+        let mut x: Vector<H> = x_low.convert();
+
+        let mut steps = Vec::new();
+        let omega0 = scaled_residual(&self.a_high, &x, b).to_f64();
+        steps.push(RefinementStep {
+            iteration: 0,
+            scaled_residual: omega0,
+            correction_norm: 0.0,
+        });
+
+        let mut status = RefinementStatus::MaxIterations;
+        let mut prev_omega = omega0;
+        if omega0 <= self.options.target_scaled_residual {
+            status = RefinementStatus::Converged;
+            return Ok((x, RefinementHistory { steps, status }));
+        }
+
+        for it in 1..=self.options.max_iterations {
+            // Residual in high precision.
+            let r = b - &self.a_high.matvec(&x);
+            // Correction solve in low precision (reusing the factors).
+            let r_low: Vector<L> = r.convert();
+            let e_low = self.lu_low.solve(&r_low)?;
+            let e: Vector<H> = e_low.convert();
+            // Update in high precision.
+            x += &e;
+
+            let omega = scaled_residual(&self.a_high, &x, b).to_f64();
+            steps.push(RefinementStep {
+                iteration: it,
+                scaled_residual: omega,
+                correction_norm: e.norm2().to_f64(),
+            });
+
+            if omega <= self.options.target_scaled_residual {
+                status = RefinementStatus::Converged;
+                break;
+            }
+            if omega > prev_omega * 2.0 {
+                status = RefinementStatus::Diverged;
+                break;
+            }
+            if omega > prev_omega * self.options.stagnation_factor {
+                status = RefinementStatus::Stagnated;
+                break;
+            }
+            prev_omega = omega;
+        }
+        Ok((x, RefinementHistory { steps, status }))
+    }
+}
+
+/// Theoretical iteration bound of Theorem III.1:
+/// `⌈log(ε) / log(ε_l κ)⌉` iterations suffice to reach scaled residual ε when
+/// each inner solve has relative accuracy ε_l and the matrix has condition
+/// number κ (requires `ε_l κ < 1`).
+pub fn iteration_bound(epsilon: f64, epsilon_l: f64, kappa: f64) -> Option<usize> {
+    let contraction = epsilon_l * kappa;
+    if !(contraction > 0.0) || contraction >= 1.0 || !(epsilon > 0.0) || epsilon >= 1.0 {
+        return None;
+    }
+    // Guard against floating-point noise pushing an exact integer ratio (e.g.
+    // log(1e-11)/log(1e-1) = 11) just above the next integer before ceil().
+    let ratio = epsilon.ln() / contraction.ln();
+    Some((ratio - 1e-9).ceil() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_matrix_with_cond, MatrixEnsemble, SingularValueDistribution};
+    use crate::precision::Emulated;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn test_system(n: usize, kappa: f64, seed: u64) -> (Matrix<f64>, Vector<f64>, Vector<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = random_matrix_with_cond(
+            n,
+            kappa,
+            SingularValueDistribution::Geometric,
+            MatrixEnsemble::General,
+            &mut rng,
+        );
+        let x_true = Vector::from_f64_slice(&(0..n).map(|i| ((i + 1) as f64).sin()).collect::<Vec<_>>());
+        let b = a.matvec(&x_true);
+        (a, b, x_true)
+    }
+
+    #[test]
+    fn f32_low_precision_reaches_f64_accuracy() {
+        let (a, b, x_true) = test_system(32, 100.0, 51);
+        let opts = RefinementOptions {
+            target_scaled_residual: 1e-14,
+            max_iterations: 20,
+            ..Default::default()
+        };
+        let refiner = ClassicalRefiner::<f64, f32>::new(&a, opts).unwrap();
+        let (x, hist) = refiner.solve(&b).unwrap();
+        assert_eq!(hist.status, RefinementStatus::Converged);
+        assert!(hist.final_residual() <= 1e-14);
+        assert!(crate::error::forward_error(&x, &x_true) < 1e-12);
+        // The first (single-precision-only) residual is far worse than the final one.
+        assert!(hist.steps[0].scaled_residual > 1e-9);
+    }
+
+    #[test]
+    fn half_precision_needs_more_iterations_than_single() {
+        let (a, b, _x) = test_system(16, 10.0, 52);
+        let opts = RefinementOptions {
+            target_scaled_residual: 1e-12,
+            max_iterations: 40,
+            ..Default::default()
+        };
+        let single = ClassicalRefiner::<f64, f32>::new(&a, opts).unwrap();
+        let half = ClassicalRefiner::<f64, Emulated<10>>::new(&a, opts).unwrap();
+        let (_, h_single) = single.solve(&b).unwrap();
+        let (_, h_half) = half.solve(&b).unwrap();
+        assert_eq!(h_single.status, RefinementStatus::Converged);
+        assert_eq!(h_half.status, RefinementStatus::Converged);
+        assert!(
+            h_half.iterations() >= h_single.iterations(),
+            "half {} vs single {}",
+            h_half.iterations(),
+            h_single.iterations()
+        );
+    }
+
+    #[test]
+    fn fixed_precision_refinement_is_a_single_step_noop_at_convergence() {
+        let (a, b, _x) = test_system(16, 10.0, 53);
+        let opts = RefinementOptions {
+            target_scaled_residual: 1e-14,
+            max_iterations: 5,
+            ..Default::default()
+        };
+        let refiner = ClassicalRefiner::<f64, f64>::new(&a, opts).unwrap();
+        let (_, hist) = refiner.solve(&b).unwrap();
+        // Full-precision LU already gives ~1e-15, so at most one refinement step.
+        assert!(hist.iterations() <= 1);
+        assert_eq!(hist.status, RefinementStatus::Converged);
+    }
+
+    #[test]
+    fn residual_contracts_geometrically() {
+        let (a, b, _x) = test_system(24, 50.0, 54);
+        let opts = RefinementOptions {
+            target_scaled_residual: 1e-15,
+            max_iterations: 30,
+            stagnation_factor: 0.99,
+        };
+        let refiner = ClassicalRefiner::<f64, Emulated<14>>::new(&a, opts).unwrap();
+        let (_, hist) = refiner.solve(&b).unwrap();
+        assert!(hist.is_monotone(), "history: {:?}", hist.steps);
+        // All contraction factors before the limiting-accuracy plateau are < 1/2.
+        let factors = hist.contraction_factors();
+        assert!(factors.iter().take(factors.len().saturating_sub(1)).all(|&f| f < 0.5));
+    }
+
+    #[test]
+    fn iteration_count_respects_theorem_bound() {
+        // For classical IR the inner-solve accuracy is eps_l ~ c * u_l * kappa; take
+        // the measured first residual as a proxy for eps_l * kappa and check that the
+        // bound with that contraction factor covers the measured iteration count.
+        let (a, b, _x) = test_system(16, 30.0, 55);
+        let opts = RefinementOptions {
+            target_scaled_residual: 1e-12,
+            max_iterations: 50,
+            ..Default::default()
+        };
+        let refiner = ClassicalRefiner::<f64, f32>::new(&a, opts).unwrap();
+        let (_, hist) = refiner.solve(&b).unwrap();
+        assert_eq!(hist.status, RefinementStatus::Converged);
+        let contraction = hist.steps[0].scaled_residual; // ≈ eps_l * kappa
+        let bound = iteration_bound(opts.target_scaled_residual, contraction, 1.0).unwrap();
+        assert!(
+            hist.iterations() <= bound,
+            "iterations {} exceed bound {bound}",
+            hist.iterations()
+        );
+    }
+
+    #[test]
+    fn too_low_precision_diverges_or_stagnates() {
+        // 3 mantissa bits cannot factor a kappa=1000 matrix meaningfully.
+        let (a, b, _x) = test_system(16, 1000.0, 56);
+        let opts = RefinementOptions {
+            target_scaled_residual: 1e-12,
+            max_iterations: 10,
+            ..Default::default()
+        };
+        match ClassicalRefiner::<f64, Emulated<3>>::new(&a, opts) {
+            Err(_) => {} // singular at 3 bits: acceptable
+            Ok(refiner) => {
+                let (_, hist) = refiner.solve(&b).unwrap();
+                assert_ne!(hist.status, RefinementStatus::Converged);
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_bound_formula() {
+        // eps = 1e-11, eps_l*kappa = 1e-1 -> 11 iterations.
+        assert_eq!(iteration_bound(1e-11, 1e-2, 10.0), Some(11));
+        // Non-contracting case returns None.
+        assert_eq!(iteration_bound(1e-11, 0.2, 10.0), None);
+        assert_eq!(iteration_bound(1e-11, 0.0, 10.0), None);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let (a, _b, _x) = test_system(8, 10.0, 57);
+        let refiner = ClassicalRefiner::<f64, f32>::new(&a, RefinementOptions::default()).unwrap();
+        let bad = Vector::<f64>::zeros(9);
+        assert!(refiner.solve(&bad).is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! Tridiagonal matrices and the 1-D Poisson model problem.
+//!
+//! Section III-C4 of the paper uses the finite-difference discretisation of
+//! the one-dimensional Poisson equation `-u''(x) = f(x)` with homogeneous
+//! Dirichlet boundary conditions as a running example (Eq. (7)): the matrix is
+//! `(1/h²) tridiag(-1, 2, -1)` with `h = 1/(N+1)`.  This module provides that
+//! matrix, a compact tridiagonal storage format with an O(N) Thomas solver
+//! (the "current classical solvers are efficient at solving this type of
+//! linear systems in O(N) flops" remark of the paper), its exact eigenvalues
+//! and condition number, and the associated exact solution machinery used by
+//! the Poisson example and benchmarks.
+
+use crate::matrix::Matrix;
+use crate::scalar::Real;
+use crate::vector::Vector;
+
+/// A tridiagonal matrix stored as three diagonals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TridiagonalMatrix<T: Real> {
+    /// Sub-diagonal (length n-1).
+    pub lower: Vec<T>,
+    /// Main diagonal (length n).
+    pub diag: Vec<T>,
+    /// Super-diagonal (length n-1).
+    pub upper: Vec<T>,
+}
+
+impl<T: Real> TridiagonalMatrix<T> {
+    /// Build from the three diagonals.
+    pub fn new(lower: Vec<T>, diag: Vec<T>, upper: Vec<T>) -> Self {
+        assert_eq!(diag.len().saturating_sub(1), lower.len(), "lower diagonal length");
+        assert_eq!(diag.len().saturating_sub(1), upper.len(), "upper diagonal length");
+        TridiagonalMatrix { lower, diag, upper }
+    }
+
+    /// Constant-coefficient tridiagonal `tridiag(a, b, c)` of order n.
+    pub fn constant(n: usize, a: T, b: T, c: T) -> Self {
+        TridiagonalMatrix {
+            lower: vec![a; n.saturating_sub(1)],
+            diag: vec![b; n],
+            upper: vec![c; n.saturating_sub(1)],
+        }
+    }
+
+    /// Order of the matrix.
+    pub fn order(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Matrix-vector product in O(N).
+    pub fn matvec(&self, x: &Vector<T>) -> Vector<T> {
+        let n = self.order();
+        assert_eq!(x.len(), n, "tridiagonal matvec: dimension mismatch");
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut s = self.diag[i] * x[i];
+            if i > 0 {
+                s = self.lower[i - 1].mul_add(x[i - 1], s);
+            }
+            if i + 1 < n {
+                s = self.upper[i].mul_add(x[i + 1], s);
+            }
+            y[i] = s;
+        }
+        y
+    }
+
+    /// Solve `T x = b` with the Thomas algorithm (no pivoting), O(N) flops.
+    ///
+    /// Valid for diagonally dominant or symmetric positive definite
+    /// tridiagonal systems such as the Poisson matrix.
+    pub fn solve_thomas(&self, b: &Vector<T>) -> Vector<T> {
+        let n = self.order();
+        assert_eq!(b.len(), n, "thomas: dimension mismatch");
+        if n == 0 {
+            return Vector::zeros(0);
+        }
+        let mut cp = vec![T::zero(); n];
+        let mut dp = vec![T::zero(); n];
+        cp[0] = if n > 1 { self.upper[0] / self.diag[0] } else { T::zero() };
+        dp[0] = b[0] / self.diag[0];
+        for i in 1..n {
+            let m = self.diag[i] - self.lower[i - 1] * cp[i - 1];
+            if i + 1 < n {
+                cp[i] = self.upper[i] / m;
+            }
+            dp[i] = (b[i] - self.lower[i - 1] * dp[i - 1]) / m;
+        }
+        let mut x = Vector::zeros(n);
+        x[n - 1] = dp[n - 1];
+        for i in (0..n - 1).rev() {
+            x[i] = dp[i] - cp[i] * x[i + 1];
+        }
+        x
+    }
+
+    /// Densify into a full matrix.
+    pub fn to_dense(&self) -> Matrix<T> {
+        let n = self.order();
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = self.diag[i];
+            if i > 0 {
+                m[(i, i - 1)] = self.lower[i - 1];
+            }
+            if i + 1 < n {
+                m[(i, i + 1)] = self.upper[i];
+            }
+        }
+        m
+    }
+}
+
+/// The 1-D Poisson (second-difference) matrix of Eq. (7):
+/// `(1/h²) tridiag(-1, 2, -1)` of order `n` with `h = 1/(n+1)`.
+///
+/// When `scaled_by_h2` is false the factor `1/h²` is omitted, giving the pure
+/// `tridiag(-1, 2, -1)` stencil whose spectrum lies in `(0, 4)` — the form
+/// most convenient for block-encoding since the spectral norm is bounded by 4
+/// independently of `n`.
+pub fn poisson_1d<T: Real>(n: usize, scaled_by_h2: bool) -> TridiagonalMatrix<T> {
+    let h = 1.0 / (n as f64 + 1.0);
+    let scale = if scaled_by_h2 { 1.0 / (h * h) } else { 1.0 };
+    TridiagonalMatrix::constant(
+        n,
+        T::from_f64(-scale),
+        T::from_f64(2.0 * scale),
+        T::from_f64(-scale),
+    )
+}
+
+/// Exact eigenvalues of the unscaled `tridiag(-1, 2, -1)` matrix of order n:
+/// `λ_k = 2 - 2 cos(kπ/(n+1)) = 4 sin²(kπ/(2(n+1)))`, k = 1..n.
+pub fn poisson_1d_eigenvalues(n: usize) -> Vec<f64> {
+    (1..=n)
+        .map(|k| {
+            let t = (k as f64) * std::f64::consts::PI / (2.0 * (n as f64 + 1.0));
+            4.0 * t.sin().powi(2)
+        })
+        .collect()
+}
+
+/// Exact 2-norm condition number of the Poisson matrix of order n
+/// (independent of the 1/h² scaling), which grows as O(N²) as noted in
+/// Section III-C4 of the paper.
+pub fn poisson_1d_condition_number(n: usize) -> f64 {
+    let ev = poisson_1d_eigenvalues(n);
+    let max = ev.iter().cloned().fold(f64::MIN, f64::max);
+    let min = ev.iter().cloned().fold(f64::MAX, f64::min);
+    max / min
+}
+
+/// Sample the right-hand side `f_j = f(j h)` on the interior grid of the
+/// Poisson problem, with `h = 1/(n+1)`.
+pub fn poisson_rhs<T: Real>(n: usize, f: impl Fn(f64) -> f64) -> Vector<T> {
+    let h = 1.0 / (n as f64 + 1.0);
+    (1..=n).map(|j| T::from_f64(f(j as f64 * h))).collect()
+}
+
+/// Sample a continuous function on the interior grid (used to compare the
+/// discrete solution against the analytic solution of the ODE).
+pub fn sample_on_grid<T: Real>(n: usize, u: impl Fn(f64) -> f64) -> Vector<T> {
+    let h = 1.0 / (n as f64 + 1.0);
+    (1..=n).map(|j| T::from_f64(u(j as f64 * h))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::cond_2;
+    use crate::lu::lu_solve;
+
+    #[test]
+    fn dense_poisson_matches_equation_7() {
+        let t = poisson_1d::<f64>(4, true);
+        let d = t.to_dense();
+        let h = 1.0 / 5.0;
+        let s = 1.0 / (h * h);
+        assert!((d[(0, 0)] - 2.0 * s).abs() < 1e-10);
+        assert!((d[(0, 1)] + s).abs() < 1e-10);
+        assert_eq!(d[(0, 2)], 0.0);
+        assert!(d.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn matvec_agrees_with_dense() {
+        let t = poisson_1d::<f64>(8, false);
+        let d = t.to_dense();
+        let x: Vector<f64> = (0..8).map(|i| (i as f64).sin()).collect();
+        assert!((&t.matvec(&x) - &d.matvec(&x)).norm2() < 1e-13);
+    }
+
+    #[test]
+    fn thomas_solver_matches_lu() {
+        let t = poisson_1d::<f64>(16, true);
+        let d = t.to_dense();
+        let b: Vector<f64> = (0..16).map(|i| 1.0 + (i as f64) * 0.1).collect();
+        let x_thomas = t.solve_thomas(&b);
+        let x_lu = lu_solve(&d, &b).unwrap();
+        assert!((&x_thomas - &x_lu).norm2() < 1e-8);
+        assert!((&t.matvec(&x_thomas) - &b).norm2() / b.norm2() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvalues_match_dense_spectrum_extremes() {
+        let n = 8;
+        let ev = poisson_1d_eigenvalues(n);
+        let t = poisson_1d::<f64>(n, false);
+        let kappa_analytic = poisson_1d_condition_number(n);
+        let kappa_numeric = cond_2(&t.to_dense());
+        assert!((kappa_analytic - kappa_numeric).abs() / kappa_analytic < 1e-8);
+        assert!(ev.iter().all(|&l| l > 0.0 && l < 4.0));
+    }
+
+    #[test]
+    fn condition_number_grows_quadratically() {
+        // κ(N) ≈ (2(N+1)/π)² for large N; check the ratio for doubling N.
+        let k16 = poisson_1d_condition_number(16);
+        let k32 = poisson_1d_condition_number(32);
+        let ratio = k32 / k16;
+        assert!((ratio - 4.0).abs() < 0.5, "ratio {ratio} should be ≈ 4");
+    }
+
+    #[test]
+    fn poisson_discretisation_converges_to_analytic_solution() {
+        // -u'' = π² sin(πx), u(0)=u(1)=0 has exact solution u(x) = sin(πx).
+        let f = |x: f64| std::f64::consts::PI.powi(2) * (std::f64::consts::PI * x).sin();
+        let u_exact = |x: f64| (std::f64::consts::PI * x).sin();
+        let mut prev_err = f64::MAX;
+        for &n in &[8usize, 16, 32] {
+            let t = poisson_1d::<f64>(n, true);
+            let b = poisson_rhs::<f64>(n, f);
+            let u = t.solve_thomas(&b);
+            let u_true = sample_on_grid::<f64>(n, u_exact);
+            let err = (&u - &u_true).norm_inf();
+            assert!(err < prev_err, "discretisation error must decrease with n");
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-3);
+    }
+
+    #[test]
+    fn empty_and_single_entry_edge_cases() {
+        let t1 = TridiagonalMatrix::constant(1, -1.0, 2.0, -1.0);
+        let b = Vector::from_f64_slice(&[4.0]);
+        let x = t1.solve_thomas(&b);
+        assert_eq!(x.as_slice(), &[2.0]);
+        let t0 = TridiagonalMatrix::<f64>::constant(0, 0.0, 0.0, 0.0);
+        assert_eq!(t0.order(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Even polynomial approximation of the rectangle (window) function.
+//!
+//! The Chebyshev expansion of 1/x (Eq. (4)) is only controlled on
+//! `[-1,-1/κ] ∪ [1/κ,1]`; inside `(-1/κ, 1/κ)` it can exceed 1 in magnitude,
+//! violating the QSVT requirement `|P(x)| ≤ 1`.  The paper (and
+//! Martyn–Rossi–Tan–Chuang, its Ref. [30]) fixes this by multiplying the
+//! inverse polynomial by an even polynomial approximating the *rectangle*
+//! function — close to 1 on the approximation domain and close to 0 in a
+//! neighbourhood of the origin — so the product remains bounded.
+//!
+//! We construct the window by Chebyshev interpolation of the smoothed step
+//! `w(x) = ½ [erf(k(|x| − t)) + 1]` with the transition centred at
+//! `t = ¾·threshold`.  The steepness `k` is tied to the polynomial degree
+//! (`k = degree/8`) so the interpolant always resolves the transition without
+//! Gibbs-style overshoot; [`required_degree`] returns the degree needed for
+//! the transition to fit between `threshold/2` and `threshold`.
+
+use crate::chebyshev::{interpolate, ChebyshevSeries, Parity};
+use crate::special::erf;
+
+/// An even polynomial window `W(x)`: `W ≈ 0` for `|x| ≤ threshold/2` and
+/// `W ≈ 1` for `|x| ≥ threshold`, bounded by ~1 on [-1, 1].
+#[derive(Debug, Clone)]
+pub struct RectanglePolynomial {
+    /// Chebyshev series of the window.
+    pub series: ChebyshevSeries,
+    /// The transition threshold (typically `1/κ`).
+    pub threshold: f64,
+    /// Interpolation degree used.
+    pub degree: usize,
+}
+
+/// The polynomial degree needed for the erf transition of the window to fit
+/// between `threshold/2` and `threshold` (≈ 80/threshold).
+pub fn required_degree(threshold: f64) -> usize {
+    assert!(threshold > 0.0 && threshold < 1.0, "threshold must be in (0, 1)");
+    (80.0 / threshold).ceil() as usize
+}
+
+/// Build an even rectangle-window polynomial with transition at `threshold`
+/// (≈ 1/κ) and the given polynomial `degree` (rounded up to the next even
+/// number).  Use [`required_degree`] to obtain a degree for which the window
+/// is sharp enough to vanish below `threshold/2`; lower degrees give smoother,
+/// wider transitions but never overshoot.
+pub fn rectangle_polynomial(threshold: f64, degree: usize) -> RectanglePolynomial {
+    assert!(threshold > 0.0 && threshold < 1.0, "threshold must be in (0, 1)");
+    let degree = degree.max(8);
+    let degree = if degree % 2 == 0 { degree } else { degree + 1 };
+    // Steepness tied to the degree so the interpolant resolves the transition.
+    let k = (degree as f64 / 8.0).max(4.0);
+    let t = 0.75 * threshold;
+    let smoothed = move |x: f64| {
+        let ax = x.abs();
+        0.5 * (erf(k * (ax - t)) + 1.0)
+    };
+    let mut series = interpolate(smoothed, degree + 1);
+    // Force exact evenness: odd coefficients of an even function are already
+    // ~machine-eps; zero them so the parity is exact for downstream QSP use.
+    for c in series.coeffs.iter_mut().skip(1).step_by(2) {
+        *c = 0.0;
+    }
+    RectanglePolynomial {
+        series,
+        threshold,
+        degree,
+    }
+}
+
+impl RectanglePolynomial {
+    /// Evaluate the window at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.series.eval(x)
+    }
+
+    /// Multiply an odd Chebyshev series by this even window, returning an odd
+    /// series of degree `deg(p) + deg(w)`.  The product is computed by
+    /// re-interpolating the pointwise product, which is exact once the
+    /// interpolation degree covers the product degree.
+    pub fn apply_to(&self, p: &ChebyshevSeries) -> ChebyshevSeries {
+        let target_degree = p.degree() + self.series.degree();
+        let nodes = target_degree + 1;
+        let product = |x: f64| p.eval(x) * self.series.eval(x);
+        let mut result = interpolate(product, nodes);
+        // The product of an odd and an even polynomial is odd; enforce parity.
+        if p.parity(1e-12) == Parity::Odd {
+            for c in result.coeffs.iter_mut().step_by(2) {
+                *c = 0.0;
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inverse::InversePolynomial;
+
+    #[test]
+    fn window_is_even() {
+        let w = rectangle_polynomial(0.2, required_degree(0.2));
+        assert_eq!(w.series.parity(1e-300), Parity::Even);
+        for &x in &[0.1, 0.3, 0.7, 0.95] {
+            assert!((w.eval(x) - w.eval(-x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn window_is_near_one_outside_and_near_zero_inside() {
+        let threshold = 0.2;
+        let w = rectangle_polynomial(threshold, required_degree(threshold));
+        for i in 0..50 {
+            let x = threshold + (1.0 - threshold) * i as f64 / 49.0;
+            assert!((w.eval(x) - 1.0).abs() < 0.05, "x = {x}, w = {}", w.eval(x));
+        }
+        for i in 0..20 {
+            let x = 0.25 * threshold * i as f64 / 19.0;
+            assert!(w.eval(x).abs() < 0.05, "x = {x}, w = {}", w.eval(x));
+        }
+    }
+
+    #[test]
+    fn window_stays_bounded() {
+        let w = rectangle_polynomial(0.1, required_degree(0.1));
+        assert!(w.series.max_abs_on_interval(4001) < 1.1);
+    }
+
+    #[test]
+    fn higher_degree_sharpens_transition() {
+        let threshold = 0.25;
+        let coarse = rectangle_polynomial(threshold, 40);
+        let fine = rectangle_polynomial(threshold, required_degree(threshold));
+        // Measure the deviation from the ideal rectangle on the "outside" region.
+        let deviation = |w: &RectanglePolynomial| -> f64 {
+            (0..100)
+                .map(|i| threshold + (1.0 - threshold) * i as f64 / 99.0)
+                .map(|x| (w.eval(x) - 1.0).abs())
+                .fold(0.0, f64::max)
+        };
+        assert!(deviation(&fine) <= deviation(&coarse));
+    }
+
+    #[test]
+    fn required_degree_scales_inversely_with_threshold() {
+        assert!(required_degree(0.1) > required_degree(0.2));
+        assert_eq!(required_degree(0.2), 400);
+    }
+
+    #[test]
+    fn windowed_inverse_is_odd_and_bounded_everywhere() {
+        // The raw normalised inverse polynomial can exceed 1 inside (-1/k, 1/k);
+        // multiplying by the window must bring it below ~1 while keeping the
+        // approximation quality on the domain.
+        let kappa = 4.0;
+        let eps = 1e-3;
+        let p = InversePolynomial::new(kappa, eps);
+        let threshold = 1.0 / kappa;
+        let w = rectangle_polynomial(threshold, required_degree(threshold));
+        let windowed = w.apply_to(&p.series);
+        assert_eq!(windowed.parity(1e-10), Parity::Odd);
+        assert!(windowed.max_abs_on_interval(4001) < 1.05);
+        // Accuracy preserved on the domain [1/kappa, 1].
+        for i in 0..100 {
+            let x = 1.0 / kappa + (1.0 - 1.0 / kappa) * i as f64 / 99.0;
+            let exact = 1.0 / (2.0 * kappa * x);
+            assert!(
+                (windowed.eval(x) - exact).abs() < 5e-2,
+                "x = {x}: windowed {} vs exact {exact}",
+                windowed.eval(x)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_threshold_rejected() {
+        let _ = rectangle_polynomial(1.5, 20);
+    }
+}

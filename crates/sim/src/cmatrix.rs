@@ -1,0 +1,303 @@
+//! Dense complex matrices.
+//!
+//! Quantum gates, circuit unitaries and block-encodings are complex-valued, so
+//! the real-valued `qls_linalg::Matrix` cannot represent them.  This module
+//! provides the small dense complex-matrix type used to (i) define gate
+//! matrices, (ii) extract the full unitary of a circuit for verification on
+//! small registers, and (iii) check the defining property of block-encodings,
+//! `A/α = (⟨0|_a ⊗ I) U (|0⟩_a ⊗ I)`.
+
+use num_complex::Complex64;
+use qls_linalg::Matrix;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major complex matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// Create a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex64::new(0.0, 0.0); rows * cols],
+        }
+    }
+
+    /// Create the identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::new(1.0, 0.0);
+        }
+        m
+    }
+
+    /// Create a matrix from a row-major vector of complex entries.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_vec: length mismatch");
+        CMatrix { rows, cols, data }
+    }
+
+    /// Create a matrix from a row-major slice of real entries.
+    pub fn from_real(a: &Matrix<f64>) -> Self {
+        CMatrix {
+            rows: a.nrows(),
+            cols: a.ncols(),
+            data: a.as_slice().iter().map(|&x| Complex64::new(x, 0.0)).collect(),
+        }
+    }
+
+    /// Build from a function of the indices.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        CMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the underlying row-major storage.
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// The real part as a real matrix.
+    pub fn real(&self) -> Matrix<f64> {
+        Matrix::from_f64_slice(
+            self.rows,
+            self.cols,
+            &self.data.iter().map(|c| c.re).collect::<Vec<_>>(),
+        )
+    }
+
+    /// The imaginary part as a real matrix.
+    pub fn imag(&self) -> Matrix<f64> {
+        Matrix::from_f64_slice(
+            self.rows,
+            self.cols,
+            &self.data.iter().map(|c| c.im).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Matrix product.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
+        let mut out = Self::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == Complex64::new(0.0, 0.0) {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, x: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(self.cols, x.len(), "matvec: dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                (0..self.cols)
+                    .map(|j| self[(i, j)] * x[j])
+                    .sum::<Complex64>()
+            })
+            .collect()
+    }
+
+    /// Conjugate transpose (adjoint).
+    pub fn adjoint(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    pub fn kron(&self, other: &Self) -> Self {
+        let mut out = Self::zeros(self.rows * other.rows, self.cols * other.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                for k in 0..other.rows {
+                    for l in 0..other.cols {
+                        out[(i * other.rows + k, j * other.cols + l)] = a * other[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Extract the sub-block with rows `r0..r0+h` and columns `c0..c0+w`.
+    pub fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Self {
+        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "block out of range");
+        Self::from_fn(h, w, |i, j| self[(r0 + i, c0 + j)])
+    }
+
+    /// Maximum absolute entry-wise difference with another matrix.
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.rows, other.rows, "max_abs_diff: shape mismatch");
+        assert_eq!(self.cols, other.cols, "max_abs_diff: shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).norm())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> f64 {
+        self.data.iter().map(|c| c.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// True when `U† U = I` within `tol` (entry-wise).
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let prod = self.adjoint().matmul(self);
+        prod.max_abs_diff(&Self::identity(self.rows)) <= tol
+    }
+
+    /// True when the matrix equals its adjoint within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        self.max_abs_diff(&self.adjoint()) <= tol
+    }
+
+    /// Scale every entry in place.
+    pub fn scale(&mut self, s: Complex64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn identity_and_matmul() {
+        let i2 = CMatrix::identity(2);
+        let a = CMatrix::from_vec(2, 2, vec![c(1.0, 1.0), c(0.0, 2.0), c(3.0, 0.0), c(1.0, -1.0)]);
+        assert_eq!(a.matmul(&i2), a);
+        assert_eq!(i2.matmul(&a), a);
+    }
+
+    #[test]
+    fn adjoint_of_product_reverses() {
+        let a = CMatrix::from_fn(3, 3, |i, j| c((i + j) as f64, (i as f64) - (j as f64)));
+        let b = CMatrix::from_fn(3, 3, |i, j| c((i * j) as f64 * 0.5, 1.0));
+        let lhs = a.matmul(&b).adjoint();
+        let rhs = b.adjoint().matmul(&a.adjoint());
+        assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = CMatrix::from_vec(2, 2, vec![c(0.0, 0.0), c(1.0, 0.0), c(1.0, 0.0), c(0.0, 0.0)]);
+        let i2 = CMatrix::identity(2);
+        let xi = x.kron(&i2);
+        assert_eq!(xi.nrows(), 4);
+        // (X ⊗ I)|00> = |10>, i.e. column 0 has a 1 in row 2.
+        assert_eq!(xi[(2, 0)], c(1.0, 0.0));
+        assert_eq!(xi[(0, 0)], c(0.0, 0.0));
+    }
+
+    #[test]
+    fn unitarity_check() {
+        let h = CMatrix::from_vec(
+            2,
+            2,
+            vec![
+                c(1.0 / 2f64.sqrt(), 0.0),
+                c(1.0 / 2f64.sqrt(), 0.0),
+                c(1.0 / 2f64.sqrt(), 0.0),
+                c(-1.0 / 2f64.sqrt(), 0.0),
+            ],
+        );
+        assert!(h.is_unitary(1e-12));
+        assert!(h.is_hermitian(1e-12));
+        let not_unitary = CMatrix::from_vec(2, 2, vec![c(1.0, 0.0), c(1.0, 0.0), c(0.0, 0.0), c(1.0, 0.0)]);
+        assert!(!not_unitary.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn block_extraction() {
+        let m = CMatrix::from_fn(4, 4, |i, j| c((i * 4 + j) as f64, 0.0));
+        let b = m.block(0, 0, 2, 2);
+        assert_eq!(b[(0, 0)], c(0.0, 0.0));
+        assert_eq!(b[(1, 1)], c(5.0, 0.0));
+        let lower = m.block(2, 2, 2, 2);
+        assert_eq!(lower[(0, 0)], c(10.0, 0.0));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let m = CMatrix::from_fn(3, 3, |i, j| c(i as f64, j as f64));
+        let x = vec![c(1.0, 0.0), c(0.0, 1.0), c(-1.0, 0.0)];
+        let y = m.matvec(&x);
+        for i in 0..3 {
+            let expect: Complex64 = (0..3).map(|j| m[(i, j)] * x[j]).sum();
+            assert!((y[i] - expect).norm() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn from_real_roundtrip() {
+        let a = Matrix::from_f64_slice(2, 2, &[1.0, -2.0, 3.0, 0.5]);
+        let ca = CMatrix::from_real(&a);
+        assert_eq!(ca.real(), a);
+        assert_eq!(ca.imag().norm_frobenius(), 0.0);
+    }
+}

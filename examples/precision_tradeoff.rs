@@ -1,0 +1,71 @@
+//! Sweep the QSVT accuracy ε_l and show the trade-off the paper's Table I
+//! formalises: a looser ε_l makes every quantum solve cheaper (lower polynomial
+//! degree, fewer samples) but requires more refinement iterations, and the
+//! sweet spot sits well below "solve directly at full precision".
+//!
+//! Run with `cargo run --example precision_tradeoff`.
+
+use qls::prelude::*;
+
+fn main() {
+    let kappa = 20.0;
+    let epsilon = 1e-10;
+    let mut rng = experiment_rng(99);
+    let a = random_matrix_with_cond(
+        16,
+        kappa,
+        SingularValueDistribution::Geometric,
+        MatrixEnsemble::General,
+        &mut rng,
+    );
+    let b = random_unit_vector(16, &mut rng);
+
+    println!("Accuracy/cost trade-off, kappa = {kappa}, target eps = {epsilon:.0e}\n");
+    println!("eps_l     | iterations | degree | BE calls (total) | samples/solve | total samples");
+
+    for &epsilon_l in &[1e-1, 1e-2, 1e-3, 1e-4, 1e-6] {
+        let refiner = HybridRefiner::new(
+            &a,
+            HybridRefinementOptions {
+                target_epsilon: epsilon,
+                epsilon_l,
+                max_iterations: 200,
+                ..Default::default()
+            },
+        )
+        .expect("solver setup");
+        let (_, history) = refiner.solve(&b, &mut rng).expect("solve");
+        let degree = history.steps[0].cost.polynomial_degree;
+        let samples_per_solve = history.steps[0].cost.shots;
+        println!(
+            "{:>9.0e} | {:>10} | {:>6} | {:>16} | {:>13} | {:>13}",
+            epsilon_l,
+            history.iterations(),
+            degree,
+            history.total_block_encoding_calls(),
+            samples_per_solve,
+            history.total_shots(),
+        );
+    }
+
+    // The analytic Table-I comparison at a representative eps_l.
+    println!("\nTable-I analytic comparison at eps_l = 1e-2:");
+    let cmp = quantum_cost_comparison(CostParameters {
+        kappa,
+        epsilon,
+        epsilon_l: 1e-2,
+        block_encoding_cost: 1.0,
+    });
+    println!(
+        "  direct QSVT:   {:>6.0} solve(s) x {:>10.3e} BE calls x {:>10.3e} samples = {:>10.3e}",
+        cmp.qsvt_only.solves, cmp.qsvt_only.qsvt_cost, cmp.qsvt_only.samples, cmp.qsvt_only.total
+    );
+    println!(
+        "  QSVT + IR:     {:>6.0} solve(s) x {:>10.3e} BE calls x {:>10.3e} samples = {:>10.3e}",
+        cmp.qsvt_with_refinement.solves,
+        cmp.qsvt_with_refinement.qsvt_cost,
+        cmp.qsvt_with_refinement.samples,
+        cmp.qsvt_with_refinement.total
+    );
+    println!("  speedup from refinement: {:.3e}x", cmp.speedup);
+}

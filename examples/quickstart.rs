@@ -1,0 +1,62 @@
+//! Quickstart: solve a random linear system with the mixed-precision
+//! QSVT + iterative-refinement solver and compare against the classical LU
+//! reference.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use qls::prelude::*;
+
+fn main() {
+    // The paper's experimental setup: N = 16, random matrix with a prescribed
+    // condition number, unit-norm right-hand side.
+    let mut rng = experiment_rng(2024);
+    let kappa = 10.0;
+    let a = random_matrix_with_cond(
+        16,
+        kappa,
+        SingularValueDistribution::Geometric,
+        MatrixEnsemble::General,
+        &mut rng,
+    );
+    let b = random_unit_vector(16, &mut rng);
+
+    println!("Solving a 16x16 random system with condition number {kappa}.");
+    println!("Target accuracy eps = 1e-11, QSVT accuracy eps_l = 1e-2.\n");
+
+    // Algorithm 2: low-accuracy QSVT solves refined in high precision.
+    let refiner = HybridRefiner::new(
+        &a,
+        HybridRefinementOptions {
+            target_epsilon: 1e-11,
+            epsilon_l: 1e-2,
+            ..Default::default()
+        },
+    )
+    .expect("solver setup");
+    let (x, history) = refiner.solve(&b, &mut rng).expect("hybrid solve");
+
+    println!("iteration | scaled residual | Theorem III.1 bound");
+    for step in &history.steps {
+        println!(
+            "{:>9} | {:>15.3e} | {:>15.3e}",
+            step.iteration, step.scaled_residual, step.theoretical_bound
+        );
+    }
+    println!(
+        "\nconverged: {:?} after {} refinement iterations (bound: {:?})",
+        history.status,
+        history.iterations(),
+        history.iteration_bound()
+    );
+    println!(
+        "total block-encoding calls: {}",
+        history.total_block_encoding_calls()
+    );
+
+    // Validate against the classical reference solution.
+    let reference = classical_lu_solve(&a, &b).expect("LU solve");
+    let forward = forward_error(&x, &reference);
+    println!("relative forward error vs LU reference: {forward:.3e}");
+    assert!(forward < 1e-9, "the hybrid solver should match LU closely");
+    println!("\nOK — the hybrid solver reproduced the classical solution.");
+}

@@ -1,0 +1,87 @@
+//! # qls — mixed-precision quantum-classical linear-system solver
+//!
+//! Facade crate of the workspace: re-exports the sub-crates and provides a
+//! [`prelude`] so the examples and downstream users can pull in everything the
+//! paper's workflow needs with a single `use`.
+//!
+//! The workspace reproduces *"A mixed-precision quantum-classical algorithm
+//! for solving linear systems"* (Koska–Baboulin–Gazda):
+//!
+//! * [`linalg`] (`qls-linalg`) — dense linear algebra, precision emulation,
+//!   classical iterative refinement;
+//! * [`poly`] (`qls-poly`) — Chebyshev machinery and the Eq. (4) inverse
+//!   polynomial;
+//! * [`sim`] (`qls-sim`) — the state-vector quantum simulator;
+//! * [`encoding`] (`qls-encoding`) — state preparation and block-encodings;
+//! * [`qsvt`] (`qls-qsvt`) — QSP phases, QSVT circuits, matrix inversion;
+//! * [`core`] (`qls-core`) — the hybrid solver (Algorithm 2), cost models,
+//!   communication model and baselines.
+
+pub use qls_core as core;
+pub use qls_encoding as encoding;
+pub use qls_linalg as linalg;
+pub use qls_poly as poly;
+pub use qls_qsvt as qsvt;
+pub use qls_sim as sim;
+
+/// Everything the examples and typical downstream code need, in one import.
+pub mod prelude {
+    pub use qls_core::{
+        classical_lu_solve, poisson_cost_breakdown, quantum_cost_comparison, qsvt_degree_model,
+        CommunicationParameters, CommunicationSchedule, CostParameters, DirectQsvtSolver,
+        Direction, HhlOptions, HhlResult, HhlSolver, HybridHistory, HybridRefinementOptions,
+        HybridRefiner, HybridStatus, PoissonCostParameters, QsvtLinearSolver, QsvtSolverOptions,
+    };
+    pub use qls_encoding::{
+        BlockEncoding, BlockEncodingExt, DilationBlockEncoding, FableBlockEncoding,
+        LcuBlockEncoding, StatePreparation, TridiagBlockEncoding,
+    };
+    pub use qls_linalg::generate::{
+        random_matrix_with_cond, random_unit_vector, MatrixEnsemble, SingularValueDistribution,
+    };
+    pub use qls_linalg::{
+        backward_error, cond_2, forward_error, poisson_1d, poisson_1d_condition_number,
+        scaled_residual, ClassicalRefiner, Matrix, RefinementOptions, Vector,
+    };
+    pub use qls_linalg::tridiag::{poisson_rhs, sample_on_grid};
+    pub use qls_poly::{ChebyshevSeries, InversePolynomial};
+    pub use qls_qsvt::{QsvtInverter, QsvtMode};
+    pub use qls_sim::{estimate_resources, Circuit, Gate, StateVector, TCountModel};
+
+    pub use rand::SeedableRng;
+
+    /// Deterministic RNG for reproducible example runs.
+    pub fn experiment_rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_the_full_pipeline() {
+        let mut rng = experiment_rng(1);
+        let a = random_matrix_with_cond(
+            8,
+            5.0,
+            SingularValueDistribution::Geometric,
+            MatrixEnsemble::General,
+            &mut rng,
+        );
+        let b = random_unit_vector(8, &mut rng);
+        let refiner = HybridRefiner::new(
+            &a,
+            HybridRefinementOptions {
+                target_epsilon: 1e-10,
+                epsilon_l: 1e-2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (x, history) = refiner.solve(&b, &mut rng).unwrap();
+        assert_eq!(history.status, HybridStatus::Converged);
+        assert!(scaled_residual(&a, &x, &b) <= 1e-10);
+    }
+}
