@@ -9,9 +9,11 @@ fn bench_inverse_polynomial_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("poly/inverse_construction");
     group.sample_size(10);
     for &kappa in &[10.0f64, 100.0, 300.0] {
-        group.bench_with_input(BenchmarkId::new("kappa", kappa as u64), &kappa, |bench, &k| {
-            bench.iter(|| std::hint::black_box(InversePolynomial::new(k, 1e-4)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("kappa", kappa as u64),
+            &kappa,
+            |bench, &k| bench.iter(|| std::hint::black_box(InversePolynomial::new(k, 1e-4))),
+        );
     }
     group.finish();
 }

@@ -85,5 +85,10 @@ fn bench_hhl_baseline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hybrid_refinement, bench_large_kappa, bench_hhl_baseline);
+criterion_group!(
+    benches,
+    bench_hybrid_refinement,
+    bench_large_kappa,
+    bench_hhl_baseline
+);
 criterion_main!(benches);

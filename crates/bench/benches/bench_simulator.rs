@@ -61,5 +61,10 @@ fn bench_unitary_extraction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_circuit_execution, bench_ghz, bench_unitary_extraction);
+criterion_group!(
+    benches,
+    bench_circuit_execution,
+    bench_ghz,
+    bench_unitary_extraction
+);
 criterion_main!(benches);

@@ -77,7 +77,9 @@ fn main() {
         schedule.total_bytes(Direction::CpuToQpu),
         schedule.total_bytes(Direction::QpuToCpu)
     );
-    println!("\nAs in the paper's Fig. 1, the block-encoding of A\u{2020} and the phase vector \u{03a6}");
+    println!(
+        "\nAs in the paper's Fig. 1, the block-encoding of A\u{2020} and the phase vector \u{03a6}"
+    );
     println!("cross the link once; every further iteration only ships the residual's state-");
     println!("preparation circuit out and the sampled solution back.");
 }

@@ -35,8 +35,16 @@ fn main() {
         "{}",
         format_table(
             &[
-                "n", "N", "alpha", "ancillas", "gates(sim)", "depth(sim)", "T(sim)",
-                "gates(analytic)", "T(analytic)", "encoding error"
+                "n",
+                "N",
+                "alpha",
+                "ancillas",
+                "gates(sim)",
+                "depth(sim)",
+                "T(sim)",
+                "gates(analytic)",
+                "T(analytic)",
+                "encoding error"
             ],
             &rows
         )
@@ -44,7 +52,10 @@ fn main() {
 
     // Show the first operations of the n = 2 circuit as a concrete "Fig. 2".
     let be = TridiagBlockEncoding::new(2);
-    println!("first operations of the n = 2 encoding circuit ({}):", be.method_name());
+    println!(
+        "first operations of the n = 2 encoding circuit ({}):",
+        be.method_name()
+    );
     for (i, op) in be.circuit().operations().iter().take(20).enumerate() {
         println!(
             "  {:>3}: {:<8} targets {:?} controls {:?}",

@@ -28,9 +28,16 @@ fn main() {
         let refiner = HybridRefiner::new(&a, options).expect("refiner");
         let mut rng = experiment_rng(7);
         let (_, history) = refiner.solve(&b, &mut rng).expect("solve");
-        assert_eq!(history.status, HybridStatus::Converged, "eps_l = {epsilon_l}");
+        assert_eq!(
+            history.status,
+            HybridStatus::Converged,
+            "eps_l = {epsilon_l}"
+        );
 
-        println!("eps_l = {epsilon_l:.0e}  (contraction factor eps_l*kappa = {:.0e})", epsilon_l * kappa);
+        println!(
+            "eps_l = {epsilon_l:.0e}  (contraction factor eps_l*kappa = {:.0e})",
+            epsilon_l * kappa
+        );
         let rows: Vec<Vec<String>> = history
             .steps
             .iter()
@@ -46,7 +53,12 @@ fn main() {
         println!(
             "{}",
             format_table(
-                &["iteration", "scaled residual", "Thm III.1 bound", "BE calls"],
+                &[
+                    "iteration",
+                    "scaled residual",
+                    "Thm III.1 bound",
+                    "BE calls"
+                ],
                 &rows
             )
         );

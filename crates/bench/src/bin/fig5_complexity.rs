@@ -16,7 +16,9 @@ fn main() {
     let epsilon_l = 0.4; // ≈ 1/kappa, as in the paper
     let (a, b) = paper_test_system(16, kappa, 42);
 
-    println!("Fig. 5 — block-encoding calls vs target accuracy, kappa = {kappa}, eps_l = {epsilon_l}\n");
+    println!(
+        "Fig. 5 — block-encoding calls vs target accuracy, kappa = {kappa}, eps_l = {epsilon_l}\n"
+    );
 
     let epsilons: [f64; 13] = [
         0.4, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11, 1e-12,

@@ -49,8 +49,18 @@ fn main() {
 
     let table = format_table(
         &[
-            "kappa", "eps", "eps_l", "solves(direct)", "C_QSVT(direct)", "samples(direct)",
-            "total(direct)", "solves(IR)", "C_QSVT(IR)", "samples(IR)", "total(IR)", "speedup",
+            "kappa",
+            "eps",
+            "eps_l",
+            "solves(direct)",
+            "C_QSVT(direct)",
+            "samples(direct)",
+            "total(direct)",
+            "solves(IR)",
+            "C_QSVT(IR)",
+            "samples(IR)",
+            "total(IR)",
+            "speedup",
         ],
         &rows,
     );

@@ -23,7 +23,10 @@ fn main() {
         epsilon: 1e-11,
     };
 
-    println!("Table II — complexity for solving the Poisson equation (N = 2^{n_qubits} = {})", 1 << n_qubits);
+    println!(
+        "Table II — complexity for solving the Poisson equation (N = 2^{n_qubits} = {})",
+        1 << n_qubits
+    );
     println!(
         "kappa(Poisson, N={}) = {:.2}, eps_l = {:.0e}, eps = {:.0e}\n",
         1 << n_qubits,
@@ -53,7 +56,13 @@ fn main() {
         })
         .collect();
     let table = format_table(
-        &["phase", "task", "classical (flops)", "quantum (T gates)", "paper scaling"],
+        &[
+            "phase",
+            "task",
+            "classical (flops)",
+            "quantum (T gates)",
+            "paper scaling",
+        ],
         &rows,
     );
     println!("{table}");

@@ -124,7 +124,11 @@ pub fn ascii_semilog_plot(series: &[(&str, Vec<f64>)], height: usize) -> String 
     let mut out = String::new();
     for (r, line) in grid.iter().enumerate() {
         let level = max_log - (max_log - min_log) * r as f64 / (rows - 1) as f64;
-        out.push_str(&format!("1e{:+05.1} {}\n", level, line.iter().collect::<String>()));
+        out.push_str(&format!(
+            "1e{:+05.1} {}\n",
+            level,
+            line.iter().collect::<String>()
+        ));
     }
     out.push_str("       ");
     for i in 0..max_len {
@@ -172,7 +176,10 @@ mod tests {
     #[test]
     fn ascii_plot_contains_markers_and_legend() {
         let plot = ascii_semilog_plot(
-            &[("series-a", vec![1.0, 0.1, 0.01]), ("series-b", vec![0.5, 0.05])],
+            &[
+                ("series-a", vec![1.0, 0.1, 0.01]),
+                ("series-b", vec![0.5, 0.05]),
+            ],
             10,
         );
         assert!(plot.contains('o'));

@@ -12,8 +12,8 @@
 
 use crate::solver::{QsvtLinearSolver, QsvtSolveResult, QsvtSolverOptions};
 use qls_linalg::lu::{lu_solve, LinalgError};
-use qls_linalg::{Matrix, Vector};
 pub use qls_linalg::{ClassicalRefiner, RefinementOptions};
+use qls_linalg::{Matrix, Vector};
 use qls_qsvt::{QsvtError, QsvtMode};
 use rand::Rng;
 
@@ -54,7 +54,11 @@ impl DirectQsvtSolver {
     }
 
     /// Perform the single high-precision solve.
-    pub fn solve<R: Rng>(&self, b: &Vector<f64>, rng: &mut R) -> Result<QsvtSolveResult, QsvtError> {
+    pub fn solve<R: Rng>(
+        &self,
+        b: &Vector<f64>,
+        rng: &mut R,
+    ) -> Result<QsvtSolveResult, QsvtError> {
         self.solver.solve(b, rng)
     }
 

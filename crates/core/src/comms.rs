@@ -101,16 +101,14 @@ impl CommunicationSchedule {
     pub fn new(parameters: CommunicationParameters) -> Self {
         let p = &parameters;
         let n_amplitudes = 1usize << p.n_qubits;
-        let mut events = Vec::new();
-
         // Setup + first solve: BE(A†), Φ and SP(b) go to the QPU once.
-        events.push(TransferEvent {
+        let mut events = vec![TransferEvent {
             iteration: 0,
             direction: Direction::CpuToQpu,
             payload: Payload::BlockEncodingCircuit,
             bytes: p.block_encoding_gates * p.bytes_per_gate,
             label: "BE(A†)".to_string(),
-        });
+        }];
         events.push(TransferEvent {
             iteration: 0,
             direction: Direction::CpuToQpu,
@@ -209,8 +207,14 @@ mod tests {
             ..Default::default()
         });
         // SP(b) + SP(r_1..r_k).
-        assert_eq!(schedule.count_payload(Payload::StatePreparation), iterations + 1);
-        assert_eq!(schedule.count_payload(Payload::SampledSolution), iterations + 1);
+        assert_eq!(
+            schedule.count_payload(Payload::StatePreparation),
+            iterations + 1
+        );
+        assert_eq!(
+            schedule.count_payload(Payload::SampledSolution),
+            iterations + 1
+        );
     }
 
     #[test]
@@ -229,12 +233,8 @@ mod tests {
             iterations: 10,
             ..Default::default()
         });
-        assert!(
-            large.total_bytes(Direction::CpuToQpu) > small.total_bytes(Direction::CpuToQpu)
-        );
-        assert!(
-            large.total_bytes(Direction::QpuToCpu) > small.total_bytes(Direction::QpuToCpu)
-        );
+        assert!(large.total_bytes(Direction::CpuToQpu) > small.total_bytes(Direction::CpuToQpu));
+        assert!(large.total_bytes(Direction::QpuToCpu) > small.total_bytes(Direction::QpuToCpu));
     }
 
     #[test]

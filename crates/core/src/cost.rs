@@ -255,9 +255,14 @@ mod tests {
         let comparison = quantum_cost_comparison(params(2.0, 0.4, 0.4));
         assert_eq!(
             comparison.qsvt_only.block_encoding_calls_per_solve,
-            comparison.qsvt_with_refinement.block_encoding_calls_per_solve
+            comparison
+                .qsvt_with_refinement
+                .block_encoding_calls_per_solve
         );
-        assert_eq!(comparison.qsvt_only.samples, comparison.qsvt_with_refinement.samples);
+        assert_eq!(
+            comparison.qsvt_only.samples,
+            comparison.qsvt_with_refinement.samples
+        );
         // And the advantage appears as ε shrinks below ε_l.
         let tight = quantum_cost_comparison(params(2.0, 1e-8, 0.4));
         assert!(tight.speedup > comparison.speedup);
@@ -303,7 +308,10 @@ mod tests {
         });
         assert_eq!(rows.len(), 8);
         // Quantum-only tasks have zero classical flops and vice versa.
-        let be_row = rows.iter().find(|r| r.phase == "iteration" && r.task == "BE").unwrap();
+        let be_row = rows
+            .iter()
+            .find(|r| r.phase == "iteration" && r.task == "BE")
+            .unwrap();
         assert_eq!(be_row.classical_flops, 0.0);
         assert!(be_row.quantum_t_gates > 0.0);
         let sol_row = rows
@@ -314,8 +322,14 @@ mod tests {
         assert!(sol_row.classical_flops > 0.0);
         // The first solve includes the O(κ) classical phase computation, the
         // iterations do not.
-        let first_qsvt = rows.iter().find(|r| r.phase == "first solve" && r.task.starts_with("QSVT")).unwrap();
-        let iter_qsvt = rows.iter().find(|r| r.phase == "iteration" && r.task.starts_with("QSVT")).unwrap();
+        let first_qsvt = rows
+            .iter()
+            .find(|r| r.phase == "first solve" && r.task.starts_with("QSVT"))
+            .unwrap();
+        let iter_qsvt = rows
+            .iter()
+            .find(|r| r.phase == "iteration" && r.task.starts_with("QSVT"))
+            .unwrap();
         assert!(first_qsvt.classical_flops > 0.0);
         assert_eq!(iter_qsvt.classical_flops, 0.0);
     }
@@ -334,7 +348,8 @@ mod tests {
             epsilon_l: 1e-2,
             epsilon: 1e-10,
         });
-        let total = |rows: &[PoissonCostRow]| -> f64 { rows.iter().map(|r| r.quantum_t_gates).sum() };
+        let total =
+            |rows: &[PoissonCostRow]| -> f64 { rows.iter().map(|r| r.quantum_t_gates).sum() };
         assert!(total(&large) > total(&small));
     }
 }

@@ -97,7 +97,9 @@ impl HhlSolver {
         let lambda_max = eigenvalues.iter().cloned().fold(f64::MIN, f64::max);
         let lambda_min_abs = eigenvalues.iter().map(|l| l.abs()).fold(f64::MAX, f64::min);
         assert!(lambda_min_abs > 0.0, "matrix is singular");
-        let evolution_time = options.evolution_time.unwrap_or(std::f64::consts::PI / lambda_max);
+        let evolution_time = options
+            .evolution_time
+            .unwrap_or(std::f64::consts::PI / lambda_max);
         let rotation_constant = options.rotation_constant.unwrap_or(lambda_min_abs);
         HhlSolver {
             matrix: a.clone(),

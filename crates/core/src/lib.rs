@@ -56,9 +56,11 @@ pub mod refine;
 pub mod solver;
 
 pub use baselines::{classical_lu_solve, DirectQsvtSolver};
-pub use comms::{CommunicationParameters, CommunicationSchedule, Direction, Payload, TransferEvent};
+pub use comms::{
+    CommunicationParameters, CommunicationSchedule, Direction, Payload, TransferEvent,
+};
 pub use cost::{
-    poisson_cost_breakdown, quantum_cost_comparison, qsvt_degree_model, CostParameters,
+    poisson_cost_breakdown, qsvt_degree_model, quantum_cost_comparison, CostParameters,
     PoissonCostParameters, PoissonCostRow, QuantumCostComparison, StrategyCost,
 };
 pub use hhl::{HhlOptions, HhlResult, HhlSolver};

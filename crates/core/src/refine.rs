@@ -94,7 +94,10 @@ impl HybridHistory {
 
     /// Final scaled residual.
     pub fn final_residual(&self) -> f64 {
-        self.steps.last().map(|s| s.scaled_residual).unwrap_or(f64::NAN)
+        self.steps
+            .last()
+            .map(|s| s.scaled_residual)
+            .unwrap_or(f64::NAN)
     }
 
     /// Theorem III.1 iteration bound `⌈log ε / log(ε_l κ)⌉`, when it applies.
@@ -300,8 +303,16 @@ mod tests {
             assert!(
                 history.satisfies_theorem_bound(10.0),
                 "residuals {:?} vs bounds {:?}",
-                history.steps.iter().map(|s| s.scaled_residual).collect::<Vec<_>>(),
-                history.steps.iter().map(|s| s.theoretical_bound).collect::<Vec<_>>()
+                history
+                    .steps
+                    .iter()
+                    .map(|s| s.scaled_residual)
+                    .collect::<Vec<_>>(),
+                history
+                    .steps
+                    .iter()
+                    .map(|s| s.theoretical_bound)
+                    .collect::<Vec<_>>()
             );
         }
     }

@@ -126,7 +126,11 @@ impl QsvtLinearSolver {
 
     /// Solve `A x = b` once at accuracy ε_l.  `rng` is only used when shot
     /// sampling is enabled.
-    pub fn solve<R: Rng>(&self, b: &Vector<f64>, rng: &mut R) -> Result<QsvtSolveResult, QsvtError> {
+    pub fn solve<R: Rng>(
+        &self,
+        b: &Vector<f64>,
+        rng: &mut R,
+    ) -> Result<QsvtSolveResult, QsvtError> {
         let n = b.len();
         assert_eq!(n, self.matrix.nrows(), "dimension mismatch");
 
@@ -140,7 +144,10 @@ impl QsvtLinearSolver {
         // Optional finite-shot readout: perturb magnitudes with multinomial
         // sampling noise, keep the signs (sign recovery is assumed exact, see
         // qls-sim::measure::signed_from_magnitudes).
-        let shots = self.options.shots.unwrap_or_else(|| self.options.model_shots());
+        let shots = self
+            .options
+            .shots
+            .unwrap_or_else(|| self.options.model_shots());
         if let Some(s) = self.options.shots {
             direction = sample_direction(&direction, s, rng);
         }
@@ -159,7 +166,13 @@ impl QsvtLinearSolver {
             let v = r.norm2();
             v * v
         };
-        let brent = brent_minimize(objective, 0.0, upper.max(1e-6), self.options.brent_tolerance, 200);
+        let brent = brent_minimize(
+            objective,
+            0.0,
+            upper.max(1e-6),
+            self.options.brent_tolerance,
+            200,
+        );
         let scale = brent.x;
 
         let solution = direction.scaled(scale);
@@ -328,7 +341,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let result = solver.solve(&b, &mut rng).unwrap();
         assert!(result.cost.polynomial_degree > 0);
-        assert_eq!(result.cost.block_encoding_calls, result.cost.polynomial_degree);
+        assert_eq!(
+            result.cost.block_encoding_calls,
+            result.cost.polynomial_degree
+        );
         assert_eq!(result.cost.shots, shots_for_accuracy(1e-2, 1.0));
         assert!(result.cost.state_prep_flops > 0);
         assert!(result.cost.brent_evaluations > 0);

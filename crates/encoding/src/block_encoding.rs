@@ -54,7 +54,8 @@ pub trait BlockEncodingExt: BlockEncoding {
     /// Maximum absolute entry-wise deviation between the encoded matrix and a
     /// reference real matrix.
     fn encoding_error(&self, reference: &Matrix<f64>) -> f64 {
-        self.encoded_matrix().max_abs_diff(&CMatrix::from_real(reference))
+        self.encoded_matrix()
+            .max_abs_diff(&CMatrix::from_real(reference))
     }
 
     /// Apply `A/α` to a data-register vector by running the circuit on

@@ -141,7 +141,9 @@ impl BlockEncoding for DilationBlockEncoding {
 mod tests {
     use super::*;
     use crate::block_encoding::{verify_block_encoding, BlockEncodingExt};
-    use qls_linalg::generate::{random_matrix_with_cond, MatrixEnsemble, SingularValueDistribution};
+    use qls_linalg::generate::{
+        random_matrix_with_cond, MatrixEnsemble, SingularValueDistribution,
+    };
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -206,7 +208,9 @@ mod tests {
             &mut rng,
         );
         let be = DilationBlockEncoding::new(&a, 2.0);
-        let v: Vec<Complex64> = (0..4).map(|i| Complex64::new(0.2 * i as f64 + 0.1, 0.0)).collect();
+        let v: Vec<Complex64> = (0..4)
+            .map(|i| Complex64::new(0.2 * i as f64 + 0.1, 0.0))
+            .collect();
         let out = be.apply(&v);
         // Expected: (A/2) v.
         let av = a.matvec(&qls_linalg::Vector::from_f64_slice(

@@ -165,7 +165,11 @@ mod tests {
         assert_eq!(be.num_data_qubits(), 1);
         assert_eq!(be.num_ancilla_qubits(), 2);
         assert!((be.alpha() - 2.0).abs() < 1e-14);
-        assert!(verify_block_encoding(&be, &a) < 1e-11, "error {}", be.encoding_error(&a));
+        assert!(
+            verify_block_encoding(&be, &a) < 1e-11,
+            "error {}",
+            be.encoding_error(&a)
+        );
     }
 
     #[test]
@@ -174,7 +178,11 @@ mod tests {
         let a = Matrix::from_fn(4, 4, |_, _| rng.gen_range(-1.0..1.0));
         let be = FableBlockEncoding::new(&a, 0.0);
         assert!((be.alpha() - 4.0).abs() < 1e-14);
-        assert!(verify_block_encoding(&be, &a) < 1e-10, "error {}", be.encoding_error(&a));
+        assert!(
+            verify_block_encoding(&be, &a) < 1e-10,
+            "error {}",
+            be.encoding_error(&a)
+        );
         assert_eq!(be.retained_entries() + be.dropped_entries(), 16);
     }
 

@@ -130,7 +130,9 @@ impl BlockEncoding for LcuBlockEncoding {
 mod tests {
     use super::*;
     use crate::block_encoding::{verify_block_encoding, BlockEncodingExt};
-    use qls_linalg::generate::{random_matrix_with_cond, MatrixEnsemble, SingularValueDistribution};
+    use qls_linalg::generate::{
+        random_matrix_with_cond, MatrixEnsemble, SingularValueDistribution,
+    };
     use qls_linalg::poisson_1d;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -149,7 +151,11 @@ mod tests {
     fn encodes_2x2_symmetric_matrix() {
         let a = Matrix::from_f64_slice(2, 2, &[1.0, 0.5, 0.5, -0.25]);
         let be = LcuBlockEncoding::new(&a, 1e-12);
-        assert!(verify_block_encoding(&be, &a) < 1e-11, "error {}", be.encoding_error(&a));
+        assert!(
+            verify_block_encoding(&be, &a) < 1e-11,
+            "error {}",
+            be.encoding_error(&a)
+        );
         // lambda equals the coefficient 1-norm of the decomposition.
         assert!(be.alpha() >= qls_linalg::Svd::new(&a).norm2() - 1e-12);
     }
@@ -158,7 +164,11 @@ mod tests {
     fn encodes_nonsymmetric_matrix_with_negative_coefficients() {
         let a = Matrix::from_f64_slice(2, 2, &[0.3, -0.9, 0.4, -0.1]);
         let be = LcuBlockEncoding::new(&a, 1e-12);
-        assert!(verify_block_encoding(&be, &a) < 1e-11, "error {}", be.encoding_error(&a));
+        assert!(
+            verify_block_encoding(&be, &a) < 1e-11,
+            "error {}",
+            be.encoding_error(&a)
+        );
     }
 
     #[test]
@@ -166,7 +176,11 @@ mod tests {
         let t = poisson_1d::<f64>(4, false).to_dense();
         let be = LcuBlockEncoding::new(&t, 1e-12);
         assert_eq!(be.num_data_qubits(), 2);
-        assert!(verify_block_encoding(&be, &t) < 1e-10, "error {}", be.encoding_error(&t));
+        assert!(
+            verify_block_encoding(&be, &t) < 1e-10,
+            "error {}",
+            be.encoding_error(&t)
+        );
     }
 
     #[test]
@@ -181,7 +195,11 @@ mod tests {
         );
         let be = LcuBlockEncoding::new(&a, 1e-12);
         assert_eq!(be.num_data_qubits(), 3);
-        assert!(verify_block_encoding(&be, &a) < 1e-9, "error {}", be.encoding_error(&a));
+        assert!(
+            verify_block_encoding(&be, &a) < 1e-9,
+            "error {}",
+            be.encoding_error(&a)
+        );
     }
 
     #[test]

@@ -187,7 +187,11 @@ pub struct PauliDecomposition {
 impl PauliDecomposition {
     /// Decompose a complex matrix, dropping coefficients below `tolerance`.
     pub fn decompose(a: &CMatrix, tolerance: f64) -> Self {
-        assert_eq!(a.nrows(), a.ncols(), "Pauli decomposition needs a square matrix");
+        assert_eq!(
+            a.nrows(),
+            a.ncols(),
+            "Pauli decomposition needs a square matrix"
+        );
         let dim = a.nrows();
         assert!(dim.is_power_of_two(), "dimension must be a power of two");
         let n = dim.trailing_zeros() as usize;
@@ -211,7 +215,12 @@ impl PauliDecomposition {
                 });
             }
         }
-        terms.sort_by(|a, b| b.coefficient.norm().partial_cmp(&a.coefficient.norm()).unwrap());
+        terms.sort_by(|a, b| {
+            b.coefficient
+                .norm()
+                .partial_cmp(&a.coefficient.norm())
+                .unwrap()
+        });
         PauliDecomposition {
             num_qubits: n,
             terms,
@@ -332,7 +341,9 @@ mod tests {
 
     #[test]
     fn decomposition_reconstructs_complex_matrix() {
-        let a = CMatrix::from_fn(4, 4, |i, j| Complex64::new(i as f64 - j as f64, (i * j) as f64 * 0.1));
+        let a = CMatrix::from_fn(4, 4, |i, j| {
+            Complex64::new(i as f64 - j as f64, (i * j) as f64 * 0.1)
+        });
         let d = PauliDecomposition::decompose(&a, 0.0);
         assert!(d.reconstruct().max_abs_diff(&a) < 1e-12);
     }
@@ -373,7 +384,12 @@ mod tests {
         let a = Matrix::from_fn(8, 8, |_, _| rng.gen_range(-1.0..1.0));
         let d = PauliDecomposition::decompose_real(&a, 1e-14);
         let norm = qls_linalg::Svd::new(&a).norm2();
-        assert!(d.lambda() >= norm - 1e-10, "lambda {} < ||A|| {}", d.lambda(), norm);
+        assert!(
+            d.lambda() >= norm - 1e-10,
+            "lambda {} < ||A|| {}",
+            d.lambda(),
+            norm
+        );
     }
 
     #[test]

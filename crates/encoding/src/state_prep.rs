@@ -38,7 +38,10 @@ impl StatePreparation {
     /// Zero vectors are rejected; callers should short-circuit that case.
     pub fn new(v: &Vector<f64>) -> Self {
         let len = v.len();
-        assert!(len.is_power_of_two() && len >= 1, "vector length must be a power of two");
+        assert!(
+            len.is_power_of_two() && len >= 1,
+            "vector length must be a power of two"
+        );
         let num_qubits = len.trailing_zeros() as usize;
         let norm = v.norm2();
         assert!(norm > 0.0, "cannot prepare the zero vector");
@@ -240,7 +243,7 @@ mod tests {
 
     #[test]
     fn classical_cost_is_linear_in_n() {
-        let v16 = Vector::from_f64_slice(&vec![1.0; 16]);
+        let v16 = Vector::from_f64_slice(&[1.0; 16]);
         let v64 = Vector::from_f64_slice(&vec![1.0; 64]);
         let p16 = StatePreparation::new(&v16);
         let p64 = StatePreparation::new(&v64);

@@ -128,8 +128,14 @@ mod tests {
         let est = cond_1_estimate(&a, &lu).unwrap();
         // Exact 1-norm condition number.
         let exact = a.norm_1() * lu.inverse().unwrap().norm_1();
-        assert!(est <= exact * 1.0001, "estimate {est} must not exceed exact {exact}");
-        assert!(est >= exact / 10.0, "estimate {est} too far below exact {exact}");
+        assert!(
+            est <= exact * 1.0001,
+            "estimate {est} must not exceed exact {exact}"
+        );
+        assert!(
+            est >= exact / 10.0,
+            "estimate {est} too far below exact {exact}"
+        );
     }
 
     #[test]

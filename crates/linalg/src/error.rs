@@ -114,7 +114,8 @@ mod tests {
                 MatrixEnsemble::General,
                 &mut rng,
             );
-            let x_true = Vector::from_f64_slice(&(0..16).map(|i| (i as f64).cos()).collect::<Vec<_>>());
+            let x_true =
+                Vector::from_f64_slice(&(0..16).map(|i| (i as f64).cos()).collect::<Vec<_>>());
             let b = a.matvec(&x_true);
             // Perturb the LU solution slightly to make the bound non-trivial.
             let mut x = lu_solve(&a, &b).unwrap();

@@ -163,8 +163,9 @@ pub fn random_matrix_with_cond<R: Rng>(
 /// normalised to unit Euclidean norm (the paper fixes ‖b‖ = 1).
 pub fn random_unit_vector<R: Rng>(n: usize, rng: &mut R) -> Vector<f64> {
     loop {
-        let mut v: Vector<f64> =
-            (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect::<Vector<f64>>();
+        let mut v: Vector<f64> = (0..n)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect::<Vector<f64>>();
         let norm = v.normalize();
         if norm > 1e-12 {
             return v;
@@ -174,10 +175,7 @@ pub fn random_unit_vector<R: Rng>(n: usize, rng: &mut R) -> Vector<f64> {
 
 /// Generate a right-hand side with a known solution: returns `(b, x_true)`
 /// where `b = A x_true` and `x_true` has uniform entries in [-1, 1].
-pub fn rhs_with_known_solution<R: Rng>(
-    a: &Matrix<f64>,
-    rng: &mut R,
-) -> (Vector<f64>, Vector<f64>) {
+pub fn rhs_with_known_solution<R: Rng>(a: &Matrix<f64>, rng: &mut R) -> (Vector<f64>, Vector<f64>) {
     let n = a.ncols();
     let x_true: Vector<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let b = a.matvec(&x_true);

@@ -55,5 +55,7 @@ pub use qr::QrFactorization;
 pub use refine::{ClassicalRefiner, RefinementHistory, RefinementOptions, RefinementStatus};
 pub use scalar::Real;
 pub use svd::Svd;
-pub use tridiag::{poisson_1d, poisson_1d_condition_number, poisson_1d_eigenvalues, TridiagonalMatrix};
+pub use tridiag::{
+    poisson_1d, poisson_1d_condition_number, poisson_1d_eigenvalues, TridiagonalMatrix,
+};
 pub use vector::Vector;

@@ -170,7 +170,11 @@ impl<T: Real> LuFactorization<T> {
     /// Determinant of the original matrix.
     pub fn determinant(&self) -> T {
         let n = self.order();
-        let mut det = if self.swaps % 2 == 0 { T::one() } else { -T::one() };
+        let mut det = if self.swaps.is_multiple_of(2) {
+            T::one()
+        } else {
+            -T::one()
+        };
         for i in 0..n {
             det *= self.lu[(i, i)];
         }
@@ -302,7 +306,10 @@ mod tests {
     #[test]
     fn not_square_detected() {
         let a = Matrix::<f64>::zeros(2, 3);
-        assert!(matches!(LuFactorization::new(&a), Err(LinalgError::NotSquare)));
+        assert!(matches!(
+            LuFactorization::new(&a),
+            Err(LinalgError::NotSquare)
+        ));
     }
 
     #[test]
@@ -316,7 +323,8 @@ mod tests {
                 MatrixEnsemble::General,
                 &mut rng,
             );
-            let xtrue = Vector::from_f64_slice(&(0..n).map(|i| (i as f64).sin() + 1.0).collect::<Vec<_>>());
+            let xtrue =
+                Vector::from_f64_slice(&(0..n).map(|i| (i as f64).sin() + 1.0).collect::<Vec<_>>());
             let b = a.matvec(&xtrue);
             let x = lu_solve(&a, &b).unwrap();
             let err = (&x - &xtrue).norm2() / xtrue.norm2();

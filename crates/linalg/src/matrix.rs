@@ -141,7 +141,9 @@ impl<T: Real> Matrix<T> {
 
     /// The diagonal entries.
     pub fn diag(&self) -> Vec<T> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Swap rows `a` and `b`.
@@ -149,7 +151,10 @@ impl<T: Real> Matrix<T> {
         if a == b {
             return;
         }
-        assert!(a < self.rows && b < self.rows, "swap_rows: index out of range");
+        assert!(
+            a < self.rows && b < self.rows,
+            "swap_rows: index out of range"
+        );
         let c = self.cols;
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         let (first, second) = self.data.split_at_mut(hi * c);

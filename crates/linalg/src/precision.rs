@@ -304,7 +304,10 @@ mod tests {
         assert_eq!(Precision::F32.unit_roundoff, 2f64.powi(-24));
         assert_eq!(Precision::F16.unit_roundoff, 2f64.powi(-11));
         assert_eq!(Precision::BF16.unit_roundoff, 2f64.powi(-8));
-        assert_eq!(Precision::custom(10).unit_roundoff, Precision::F16.unit_roundoff);
+        assert_eq!(
+            Precision::custom(10).unit_roundoff,
+            Precision::F16.unit_roundoff
+        );
     }
 
     #[test]

@@ -60,7 +60,11 @@ impl<T: Real> QrFactorization<T> {
                 continue;
             }
             // Choose the sign to avoid cancellation.
-            let alpha = if qr[(k, k)] >= T::zero() { -normx } else { normx };
+            let alpha = if qr[(k, k)] >= T::zero() {
+                -normx
+            } else {
+                normx
+            };
             // v = x - alpha e1, normalised so v[k] = 1.
             let v0 = qr[(k, k)] - alpha;
             tau[k] = -v0 / alpha; // tau = (alpha - x0)/alpha = -v0/alpha
@@ -244,7 +248,10 @@ mod tests {
         let a = random_matrix(10, 10, 3);
         let xtrue = Vector::from_f64_slice(&(0..10).map(|i| i as f64 - 4.5).collect::<Vec<_>>());
         let b = a.matvec(&xtrue);
-        let x = QrFactorization::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        let x = QrFactorization::new(&a)
+            .unwrap()
+            .solve_least_squares(&b)
+            .unwrap();
         assert!((&x - &xtrue).norm2() < 1e-10);
     }
 
@@ -252,11 +259,18 @@ mod tests {
     fn least_squares_residual_orthogonal_to_range() {
         let a = random_matrix(12, 4, 4);
         let b = Vector::from_f64_slice(&(0..12).map(|i| (i as f64).cos()).collect::<Vec<_>>());
-        let x = QrFactorization::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        let x = QrFactorization::new(&a)
+            .unwrap()
+            .solve_least_squares(&b)
+            .unwrap();
         let r = &b - &a.matvec(&x);
         // Normal equations: Aᵀ r ≈ 0.
         let atr = a.matvec_transposed(&r);
-        assert!(atr.norm2() < 1e-10, "normal equation residual {}", atr.norm2());
+        assert!(
+            atr.norm2() < 1e-10,
+            "normal equation residual {}",
+            atr.norm2()
+        );
     }
 
     #[test]

@@ -83,7 +83,10 @@ impl RefinementHistory {
 
     /// The final scaled residual.
     pub fn final_residual(&self) -> f64 {
-        self.steps.last().map(|s| s.scaled_residual).unwrap_or(f64::NAN)
+        self.steps
+            .last()
+            .map(|s| s.scaled_residual)
+            .unwrap_or(f64::NAN)
     }
 
     /// The per-iteration contraction factors ω_{i+1}/ω_i.
@@ -207,7 +210,10 @@ impl<H: Real, L: Real> ClassicalRefiner<H, L> {
 /// number κ (requires `ε_l κ < 1`).
 pub fn iteration_bound(epsilon: f64, epsilon_l: f64, kappa: f64) -> Option<usize> {
     let contraction = epsilon_l * kappa;
-    if !(contraction > 0.0) || contraction >= 1.0 || !(epsilon > 0.0) || epsilon >= 1.0 {
+    if contraction.is_nan() || contraction <= 0.0 || contraction >= 1.0 {
+        return None;
+    }
+    if epsilon.is_nan() || epsilon <= 0.0 || epsilon >= 1.0 {
         return None;
     }
     // Guard against floating-point noise pushing an exact integer ratio (e.g.
@@ -233,7 +239,8 @@ mod tests {
             MatrixEnsemble::General,
             &mut rng,
         );
-        let x_true = Vector::from_f64_slice(&(0..n).map(|i| ((i + 1) as f64).sin()).collect::<Vec<_>>());
+        let x_true =
+            Vector::from_f64_slice(&(0..n).map(|i| ((i + 1) as f64).sin()).collect::<Vec<_>>());
         let b = a.matvec(&x_true);
         (a, b, x_true)
     }
@@ -305,7 +312,10 @@ mod tests {
         assert!(hist.is_monotone(), "history: {:?}", hist.steps);
         // All contraction factors before the limiting-accuracy plateau are < 1/2.
         let factors = hist.contraction_factors();
-        assert!(factors.iter().take(factors.len().saturating_sub(1)).all(|&f| f < 0.5));
+        assert!(factors
+            .iter()
+            .take(factors.len().saturating_sub(1))
+            .all(|&f| f < 0.5));
     }
 
     #[test]

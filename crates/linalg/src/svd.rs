@@ -37,7 +37,10 @@ impl<T: Real> Svd<T> {
     pub fn new(a: &Matrix<T>) -> Self {
         let m = a.nrows();
         let n = a.ncols();
-        assert!(m >= n, "Svd::new requires m >= n; transpose the input first");
+        assert!(
+            m >= n,
+            "Svd::new requires m >= n; transpose the input first"
+        );
 
         // Work on a copy whose columns converge to U Σ; V accumulates rotations.
         let mut w = a.clone();
@@ -67,7 +70,11 @@ impl<T: Real> Svd<T> {
                     // Jacobi rotation that annihilates apq.
                     let tau = (aqq - app) / (T::from_f64(2.0) * apq);
                     let t = {
-                        let sign = if tau >= T::zero() { T::one() } else { -T::one() };
+                        let sign = if tau >= T::zero() {
+                            T::one()
+                        } else {
+                            -T::one()
+                        };
                         sign / (tau.abs() + (T::one() + tau * tau).sqrt())
                     };
                     let c = T::one() / (T::one() + t * t).sqrt();

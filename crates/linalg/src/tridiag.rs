@@ -28,8 +28,16 @@ pub struct TridiagonalMatrix<T: Real> {
 impl<T: Real> TridiagonalMatrix<T> {
     /// Build from the three diagonals.
     pub fn new(lower: Vec<T>, diag: Vec<T>, upper: Vec<T>) -> Self {
-        assert_eq!(diag.len().saturating_sub(1), lower.len(), "lower diagonal length");
-        assert_eq!(diag.len().saturating_sub(1), upper.len(), "upper diagonal length");
+        assert_eq!(
+            diag.len().saturating_sub(1),
+            lower.len(),
+            "lower diagonal length"
+        );
+        assert_eq!(
+            diag.len().saturating_sub(1),
+            upper.len(),
+            "upper diagonal length"
+        );
         TridiagonalMatrix { lower, diag, upper }
     }
 
@@ -77,7 +85,11 @@ impl<T: Real> TridiagonalMatrix<T> {
         }
         let mut cp = vec![T::zero(); n];
         let mut dp = vec![T::zero(); n];
-        cp[0] = if n > 1 { self.upper[0] / self.diag[0] } else { T::zero() };
+        cp[0] = if n > 1 {
+            self.upper[0] / self.diag[0]
+        } else {
+            T::zero()
+        };
         dp[0] = b[0] / self.diag[0];
         for i in 1..n {
             let m = self.diag[i] - self.lower[i - 1] * cp[i - 1];

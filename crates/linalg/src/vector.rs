@@ -98,10 +98,7 @@ impl<T: Real> Vector<T> {
     /// Euclidean (2-)norm.
     pub fn norm2(&self) -> T {
         // Scale by the largest magnitude to avoid overflow for extreme inputs.
-        let maxabs = self
-            .data
-            .iter()
-            .fold(T::zero(), |acc, x| acc.max(x.abs()));
+        let maxabs = self.data.iter().fold(T::zero(), |acc, x| acc.max(x.abs()));
         if maxabs == T::zero() {
             return T::zero();
         }

@@ -1,0 +1,147 @@
+//! Integration tests of the classical kernels the hybrid solver leans on:
+//! LU with partial pivoting, Householder QR, prescribed-condition-number
+//! matrix generation, and Brent minimisation.
+
+use qls_linalg::generate::{
+    random_matrix_with_cond, random_unit_vector, MatrixEnsemble, SingularValueDistribution,
+};
+use qls_linalg::{brent_minimize, cond_2, LuFactorization, Matrix, QrFactorization, Vector};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn test_matrix(n: usize, kappa: f64, seed: u64) -> Matrix<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    random_matrix_with_cond(
+        n,
+        kappa,
+        SingularValueDistribution::Geometric,
+        MatrixEnsemble::General,
+        &mut rng,
+    )
+}
+
+#[test]
+fn lu_with_pivoting_reconstructs_the_original_matrix() {
+    for (n, kappa, seed) in [(4usize, 3.0, 1u64), (16, 50.0, 2), (32, 1e4, 3)] {
+        let a = test_matrix(n, kappa, seed);
+        let lu = LuFactorization::new(&a).expect("well-conditioned matrix must factor");
+        // `reconstruct` assembles Pᵀ L U, i.e. the round trip A = Pᵀ (L U).
+        let round_trip = lu.reconstruct();
+        let err = round_trip.max_abs_diff(&a);
+        assert!(
+            err < 1e-12 * a.norm_frobenius(),
+            "PLU round-trip error {err} too large for n={n}, kappa={kappa}"
+        );
+    }
+}
+
+#[test]
+fn lu_solve_gives_small_residual() {
+    let n = 24;
+    let a = test_matrix(n, 100.0, 7);
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let x_true = random_unit_vector(n, &mut rng);
+    let b = a.matvec(&x_true);
+    let lu = LuFactorization::new(&a).unwrap();
+    let x = lu.solve(&b).unwrap();
+    let err = x.max_abs_diff(&x_true);
+    assert!(err < 1e-10, "LU solve forward error {err}");
+}
+
+#[test]
+fn qr_factor_is_orthogonal_and_reproduces_a() {
+    for (n, seed) in [(8usize, 11u64), (20, 12)] {
+        let a = test_matrix(n, 30.0, seed);
+        let qr = QrFactorization::new(&a).expect("QR of a square matrix");
+        let q = qr.q();
+        let qtq = q.transpose().matmul(&q);
+        let mut max_dev: f64 = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                max_dev = max_dev.max((qtq[(i, j)] - expected).abs());
+            }
+        }
+        assert!(max_dev < 1e-13, "‖QᵀQ − I‖_max = {max_dev} for n={n}");
+
+        let qr_product = q.matmul(&qr.r());
+        let err = qr_product.max_abs_diff(&a);
+        assert!(err < 1e-12, "QR reconstruction error {err} for n={n}");
+    }
+}
+
+#[test]
+fn generated_matrices_hit_the_requested_condition_number() {
+    for (kappa, seed) in [(10.0f64, 21u64), (1e3, 22), (1e6, 23)] {
+        let a = test_matrix(16, kappa, seed);
+        let measured = cond_2(&a);
+        assert!(
+            (measured - kappa).abs() / kappa < 1e-6,
+            "requested kappa={kappa}, measured {measured}"
+        );
+    }
+}
+
+#[test]
+fn generated_matrices_support_all_distributions_and_ensembles() {
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    for dist in [
+        SingularValueDistribution::Geometric,
+        SingularValueDistribution::Arithmetic,
+        SingularValueDistribution::Clustered,
+    ] {
+        for ensemble in [
+            MatrixEnsemble::General,
+            MatrixEnsemble::SymmetricPositiveDefinite,
+            MatrixEnsemble::SymmetricIndefinite,
+        ] {
+            let a = random_matrix_with_cond(8, 40.0, dist, ensemble, &mut rng);
+            let measured = cond_2(&a);
+            assert!(
+                (measured - 40.0).abs() / 40.0 < 1e-6,
+                "kappa off for {dist:?}/{ensemble:?}: {measured}"
+            );
+        }
+    }
+}
+
+#[test]
+fn brent_finds_the_minimum_of_a_known_quadratic() {
+    // f(x) = 3 (x − 1.25)² + 0.5 has its minimum at x = 1.25, f = 0.5.
+    let f = |x: f64| 3.0 * (x - 1.25).powi(2) + 0.5;
+    let result = brent_minimize(f, -10.0, 10.0, 1e-12, 200);
+    assert!(result.converged, "Brent failed to converge on a quadratic");
+    assert!(
+        (result.x - 1.25).abs() < 1e-8,
+        "minimiser {} ≠ 1.25",
+        result.x
+    );
+    assert!(
+        (result.fx - 0.5).abs() < 1e-12,
+        "minimum value {}",
+        result.fx
+    );
+    // Parabolic interpolation should make this cheap.
+    assert!(
+        result.evaluations < 100,
+        "Brent used {} evaluations on a quadratic",
+        result.evaluations
+    );
+}
+
+#[test]
+fn brent_recovers_a_vector_norm_like_the_solver_does() {
+    // Remark 2 use case: minimise ‖s·d − x‖² over the scale s for a fixed
+    // direction d, which is exactly how the solver recovers ‖x‖.
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let d = random_unit_vector(16, &mut rng);
+    let target_scale = 7.75;
+    let x = d.scaled(target_scale);
+    let objective = |s: f64| {
+        let mut diff: Vector<f64> = d.scaled(s);
+        diff.axpy(-1.0, &x);
+        diff.norm2()
+    };
+    let result = brent_minimize(objective, 0.0, 100.0, 1e-12, 300);
+    assert!((result.x - target_scale).abs() < 1e-6, "scale {}", result.x);
+}

@@ -31,7 +31,7 @@ pub fn chebyshev_t(n: usize, x: f64) -> f64 {
         (n as f64 * x.acosh()).cosh()
     } else {
         // x < -1: T_n(x) = (-1)^n T_n(-x).
-        let sign = if n % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if n.is_multiple_of(2) { 1.0 } else { -1.0 };
         sign * (n as f64 * (-x).acosh()).cosh()
     }
 }
@@ -64,10 +64,7 @@ impl ChebyshevSeries {
 
     /// Degree of the series (index of the last non-negligible coefficient).
     pub fn degree(&self) -> usize {
-        self.coeffs
-            .iter()
-            .rposition(|&c| c != 0.0)
-            .unwrap_or(0)
+        self.coeffs.iter().rposition(|&c| c != 0.0).unwrap_or(0)
     }
 
     /// Number of stored coefficients.

@@ -69,7 +69,7 @@ impl InversePolynomial {
     /// algorithm of [32] fixes the effective accuracy itself).
     pub fn with_parameters(kappa: f64, epsilon: f64, b: u64, cap_d: u64) -> Self {
         let cap_d = cap_d.min(b); // the expansion has at most b non-zero terms
-        // Tail sums S_j = 2^{-2b} Σ_{i=j+1}^{b} C(2b, b+i) for j = 0..D.
+                                  // Tail sums S_j = 2^{-2b} Σ_{i=j+1}^{b} C(2b, b+i) for j = 0..D.
         let tails = binomial_tails(b, cap_d);
         // Coefficient of T_{2j+1} is 4 (-1)^j S_j; even coefficients vanish.
         let degree = (2 * cap_d + 1) as usize;
@@ -192,7 +192,8 @@ mod tests {
         let eps = 1e-4;
         let b = degree_b(kappa, eps);
         let full = InversePolynomial::new(kappa, eps);
-        let truncated = InversePolynomial::with_parameters(kappa, eps, b, degree_cap_d(kappa, eps) / 3);
+        let truncated =
+            InversePolynomial::with_parameters(kappa, eps, b, degree_cap_d(kappa, eps) / 3);
         assert!(truncated.max_relative_error(300) > full.max_relative_error(300));
     }
 

@@ -33,7 +33,10 @@ pub struct RectanglePolynomial {
 /// The polynomial degree needed for the erf transition of the window to fit
 /// between `threshold/2` and `threshold` (≈ 80/threshold).
 pub fn required_degree(threshold: f64) -> usize {
-    assert!(threshold > 0.0 && threshold < 1.0, "threshold must be in (0, 1)");
+    assert!(
+        threshold > 0.0 && threshold < 1.0,
+        "threshold must be in (0, 1)"
+    );
     (80.0 / threshold).ceil() as usize
 }
 
@@ -43,9 +46,16 @@ pub fn required_degree(threshold: f64) -> usize {
 /// is sharp enough to vanish below `threshold/2`; lower degrees give smoother,
 /// wider transitions but never overshoot.
 pub fn rectangle_polynomial(threshold: f64, degree: usize) -> RectanglePolynomial {
-    assert!(threshold > 0.0 && threshold < 1.0, "threshold must be in (0, 1)");
+    assert!(
+        threshold > 0.0 && threshold < 1.0,
+        "threshold must be in (0, 1)"
+    );
     let degree = degree.max(8);
-    let degree = if degree % 2 == 0 { degree } else { degree + 1 };
+    let degree = if degree.is_multiple_of(2) {
+        degree
+    } else {
+        degree + 1
+    };
     // Steepness tied to the degree so the interpolant resolves the transition.
     let k = (degree as f64 / 8.0).max(4.0);
     let t = 0.75 * threshold;

@@ -1,0 +1,113 @@
+//! Integration tests of the Eq. (4) inverse polynomial and the Chebyshev
+//! machinery it is built on.
+
+use qls_poly::{chebyshev_t, degree_b, degree_cap_d, ChebyshevSeries, InversePolynomial, Parity};
+
+/// `1/x` relative error of the Eq. (4) polynomial, measured on a fine grid of
+/// the approximation domain `[1/κ, 1]`.
+fn max_rel_error_on_grid(poly: &InversePolynomial, kappa: f64, samples: usize) -> f64 {
+    let lo = 1.0 / kappa;
+    let mut worst: f64 = 0.0;
+    for i in 0..=samples {
+        let x = lo + (1.0 - lo) * (i as f64) / (samples as f64);
+        let approx = poly.eval_inverse(x);
+        let exact = 1.0 / x;
+        worst = worst.max(((approx - exact) / exact).abs());
+    }
+    worst
+}
+
+#[test]
+fn inverse_polynomial_meets_the_advertised_epsilon() {
+    for (kappa, eps) in [(5.0f64, 1e-2), (10.0, 1e-3), (40.0, 1e-4)] {
+        let poly = InversePolynomial::new(kappa, eps);
+        let measured = max_rel_error_on_grid(&poly, kappa, 400);
+        // Eq. (4) guarantees eps relative accuracy on [1/κ, 1]; allow a small
+        // grid-sampling slack on top.
+        assert!(
+            measured <= 2.0 * eps,
+            "kappa={kappa} eps={eps}: measured max relative error {measured}"
+        );
+    }
+}
+
+#[test]
+fn inverse_polynomial_is_odd_and_bounded_like_qsvt_requires() {
+    let poly = InversePolynomial::new(20.0, 1e-3);
+    for x in [0.1, 0.35, 0.6, 0.99] {
+        let sym = poly.eval(-x) + poly.eval(x);
+        assert!(sym.abs() < 1e-9, "odd-parity violation at {x}: {sym}");
+    }
+}
+
+#[test]
+fn degree_formulas_match_the_paper() {
+    // b(ε,κ) = ⌈κ² log(κ/ε)⌉ and D(ε,κ) = ⌈√(b log(4b/ε))⌉.
+    for (kappa, eps) in [(10.0f64, 1e-3), (100.0, 1e-6)] {
+        let b = degree_b(kappa, eps);
+        let expected_b = (kappa * kappa * (kappa / eps).ln()).ceil() as u64;
+        assert_eq!(b, expected_b, "b(ε,κ) mismatch for kappa={kappa}");
+        let cap_d = degree_cap_d(kappa, eps);
+        let bf = b as f64;
+        let expected_d = (bf * (4.0 * bf / eps).ln()).sqrt().ceil() as u64;
+        assert_eq!(cap_d, expected_d, "D(ε,κ) mismatch for kappa={kappa}");
+    }
+}
+
+#[test]
+fn degrees_grow_with_kappa_and_shrink_with_epsilon() {
+    let d_loose = InversePolynomial::new(10.0, 1e-2).degree();
+    let d_tight = InversePolynomial::new(10.0, 1e-6).degree();
+    assert!(d_tight > d_loose, "{d_tight} vs {d_loose}");
+    let d_small_kappa = InversePolynomial::new(5.0, 1e-3).degree();
+    let d_large_kappa = InversePolynomial::new(50.0, 1e-3).degree();
+    assert!(d_large_kappa > d_small_kappa);
+}
+
+/// Direct three-term-recurrence evaluation of a Chebyshev series, as an
+/// independent oracle for the Clenshaw summation in `ChebyshevSeries::eval`.
+fn eval_by_recurrence(coeffs: &[f64], x: f64) -> f64 {
+    coeffs
+        .iter()
+        .enumerate()
+        .map(|(n, &c)| c * chebyshev_t(n, x))
+        .sum()
+}
+
+#[test]
+fn clenshaw_matches_the_direct_chebyshev_recurrence() {
+    let coeffs = vec![0.5, -1.25, 0.0, 0.75, 0.1, -0.3, 0.02];
+    let series = ChebyshevSeries::new(coeffs.clone());
+    for i in 0..=100 {
+        let x = -1.0 + 2.0 * (i as f64) / 100.0;
+        let clenshaw = series.eval(x);
+        let direct = eval_by_recurrence(&coeffs, x);
+        assert!(
+            (clenshaw - direct).abs() < 1e-12,
+            "Clenshaw {clenshaw} vs recurrence {direct} at x={x}"
+        );
+    }
+}
+
+#[test]
+fn chebyshev_t_satisfies_the_defining_identity() {
+    // T_n(cos θ) = cos(n θ).
+    for n in [0usize, 1, 2, 5, 11] {
+        for i in 0..=20 {
+            let theta = std::f64::consts::PI * (i as f64) / 20.0;
+            let lhs = chebyshev_t(n, theta.cos());
+            let rhs = (n as f64 * theta).cos();
+            assert!(
+                (lhs - rhs).abs() < 1e-10,
+                "T_{n}(cos {theta}) = {lhs} ≠ {rhs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn series_parity_detection_flags_the_inverse_polynomial_as_odd() {
+    let poly = InversePolynomial::new(15.0, 1e-3);
+    // The Eq. (4) series has only odd Chebyshev terms.
+    assert_eq!(poly.series.parity(1e-12), Parity::Odd);
+}

@@ -112,7 +112,10 @@ impl QsvtCircuit {
     /// qubit) selects between `U_Φ` and `U_{−Φ}`; post-selecting it on `|0⟩`
     /// together with the block-encoding ancillas yields the block
     /// `Re(P)^{(SV)}(A/α)` — the polynomial the phase solver targeted.
-    pub fn with_real_part_extraction<B: BlockEncoding>(block_encoding: &B, wx_phases: &[f64]) -> Self {
+    pub fn with_real_part_extraction<B: BlockEncoding>(
+        block_encoding: &B,
+        wx_phases: &[f64],
+    ) -> Self {
         let plus = QsvtCircuit::new(block_encoding, wx_phases);
         let neg_phases: Vec<f64> = wx_phases.iter().map(|&p| -p).collect();
         let minus = QsvtCircuit::new(block_encoding, &neg_phases);

@@ -73,10 +73,16 @@ impl std::fmt::Display for PhaseError {
         match self {
             PhaseError::MixedParity => write!(f, "target polynomial has mixed parity"),
             PhaseError::NotBounded { max_abs } => {
-                write!(f, "target polynomial reaches magnitude {max_abs} > 1 on [-1, 1]")
+                write!(
+                    f,
+                    "target polynomial reaches magnitude {max_abs} > 1 on [-1, 1]"
+                )
             }
             PhaseError::NotConverged { residual } => {
-                write!(f, "phase iteration did not converge (residual {residual:.3e})")
+                write!(
+                    f,
+                    "phase iteration did not converge (residual {residual:.3e})"
+                )
             }
             PhaseError::EmptyTarget => write!(f, "target polynomial is empty"),
         }
@@ -214,8 +220,10 @@ pub fn find_phases(
 
     // Quasi-Newton iteration from ψ = 0 (the zero polynomial).
     let mut reduced = vec![0.0f64; dim];
-    let mut jac_lu = LuFactorization::new(&map.jacobian(&reduced))
-        .map_err(|_| PhaseError::NotConverged { residual: f64::INFINITY })?;
+    let mut jac_lu =
+        LuFactorization::new(&map.jacobian(&reduced)).map_err(|_| PhaseError::NotConverged {
+            residual: f64::INFINITY,
+        })?;
     #[allow(unused_assignments)]
     let mut residual_norm = f64::INFINITY;
     let mut iterations = 0usize;
@@ -246,7 +254,9 @@ pub fn find_phases(
     // Final residual check.
     let final_res = (&map.realised(&reduced) - &c).norm_inf();
     if final_res > options.tolerance * 10.0 {
-        return Err(PhaseError::NotConverged { residual: final_res });
+        return Err(PhaseError::NotConverged {
+            residual: final_res,
+        });
     }
 
     Ok(QspPhases {

@@ -146,7 +146,10 @@ mod tests {
             phases[d] = std::f64::consts::FRAC_PI_4;
             for i in 0..=10 {
                 let x = -1.0 + 0.2 * i as f64;
-                assert!(qsp_real_polynomial(&phases, x).abs() < 1e-12, "d = {d}, x = {x}");
+                assert!(
+                    qsp_real_polynomial(&phases, x).abs() < 1e-12,
+                    "d = {d}, x = {x}"
+                );
             }
         }
     }

@@ -94,7 +94,10 @@ impl QsvtInverter {
     /// (relative error on the solution direction).
     pub fn new(a: &Matrix<f64>, epsilon_l: f64, mode: QsvtMode) -> Result<Self, QsvtError> {
         assert!(a.is_square(), "QSVT inversion needs a square matrix");
-        assert!(epsilon_l > 0.0 && epsilon_l < 1.0, "epsilon_l must be in (0, 1)");
+        assert!(
+            epsilon_l > 0.0 && epsilon_l < 1.0,
+            "epsilon_l must be in (0, 1)"
+        );
         let svd = Svd::new(a);
         let sigma_min = svd.sigma_min();
         if sigma_min <= 0.0 {
@@ -262,7 +265,9 @@ impl QsvtInverter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qls_linalg::generate::{random_matrix_with_cond, MatrixEnsemble, SingularValueDistribution};
+    use qls_linalg::generate::{
+        random_matrix_with_cond, MatrixEnsemble, SingularValueDistribution,
+    };
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

@@ -126,7 +126,12 @@ impl Circuit {
     }
 
     /// Append a controlled gate.
-    pub fn controlled_gate(&mut self, gate: Gate, targets: &[usize], controls: &[usize]) -> &mut Self {
+    pub fn controlled_gate(
+        &mut self,
+        gate: Gate,
+        targets: &[usize],
+        controls: &[usize],
+    ) -> &mut Self {
         self.push(Operation::new(gate, targets.to_vec(), controls.to_vec()))
     }
 
@@ -248,7 +253,12 @@ impl Circuit {
                 Operation::new(op.gate.clone(), op.targets.clone(), controls)
             })
             .collect();
-        let max_extra = extra_controls.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+        let max_extra = extra_controls
+            .iter()
+            .copied()
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
         Circuit {
             num_qubits: self.num_qubits.max(max_extra),
             ops,
@@ -274,7 +284,10 @@ impl Circuit {
             ops,
         };
         for op in &circ.ops {
-            assert!(op.max_qubit() < new_num_qubits, "remapped operation out of range");
+            assert!(
+                op.max_qubit() < new_num_qubits,
+                "remapped operation out of range"
+            );
         }
         circ
     }

@@ -49,7 +49,11 @@ impl CMatrix {
         CMatrix {
             rows: a.nrows(),
             cols: a.ncols(),
-            data: a.as_slice().iter().map(|&x| Complex64::new(x, 0.0)).collect(),
+            data: a
+                .as_slice()
+                .iter()
+                .map(|&x| Complex64::new(x, 0.0))
+                .collect(),
         }
     }
 
@@ -156,7 +160,10 @@ impl CMatrix {
 
     /// Extract the sub-block with rows `r0..r0+h` and columns `c0..c0+w`.
     pub fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Self {
-        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "block out of range");
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "block out of range"
+        );
         Self::from_fn(h, w, |i, j| self[(r0 + i, c0 + j)])
     }
 
@@ -229,7 +236,11 @@ mod tests {
     #[test]
     fn identity_and_matmul() {
         let i2 = CMatrix::identity(2);
-        let a = CMatrix::from_vec(2, 2, vec![c(1.0, 1.0), c(0.0, 2.0), c(3.0, 0.0), c(1.0, -1.0)]);
+        let a = CMatrix::from_vec(
+            2,
+            2,
+            vec![c(1.0, 1.0), c(0.0, 2.0), c(3.0, 0.0), c(1.0, -1.0)],
+        );
         assert_eq!(a.matmul(&i2), a);
         assert_eq!(i2.matmul(&a), a);
     }
@@ -245,7 +256,11 @@ mod tests {
 
     #[test]
     fn kron_dimensions_and_values() {
-        let x = CMatrix::from_vec(2, 2, vec![c(0.0, 0.0), c(1.0, 0.0), c(1.0, 0.0), c(0.0, 0.0)]);
+        let x = CMatrix::from_vec(
+            2,
+            2,
+            vec![c(0.0, 0.0), c(1.0, 0.0), c(1.0, 0.0), c(0.0, 0.0)],
+        );
         let i2 = CMatrix::identity(2);
         let xi = x.kron(&i2);
         assert_eq!(xi.nrows(), 4);
@@ -268,7 +283,11 @@ mod tests {
         );
         assert!(h.is_unitary(1e-12));
         assert!(h.is_hermitian(1e-12));
-        let not_unitary = CMatrix::from_vec(2, 2, vec![c(1.0, 0.0), c(1.0, 0.0), c(0.0, 0.0), c(1.0, 0.0)]);
+        let not_unitary = CMatrix::from_vec(
+            2,
+            2,
+            vec![c(1.0, 0.0), c(1.0, 0.0), c(0.0, 0.0), c(1.0, 0.0)],
+        );
         assert!(!not_unitary.is_unitary(1e-12));
     }
 

@@ -93,7 +93,10 @@ impl Gate {
                     c(1., 0.),
                     c(0., 0.),
                     c(0., 0.),
-                    c(std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2),
+                    c(
+                        std::f64::consts::FRAC_1_SQRT_2,
+                        std::f64::consts::FRAC_1_SQRT_2,
+                    ),
                 ],
             ),
             Gate::Tdg => CMatrix::from_vec(
@@ -103,16 +106,15 @@ impl Gate {
                     c(1., 0.),
                     c(0., 0.),
                     c(0., 0.),
-                    c(std::f64::consts::FRAC_1_SQRT_2, -std::f64::consts::FRAC_1_SQRT_2),
+                    c(
+                        std::f64::consts::FRAC_1_SQRT_2,
+                        -std::f64::consts::FRAC_1_SQRT_2,
+                    ),
                 ],
             ),
             Gate::Rx(theta) => {
                 let (s, cos) = (theta / 2.0).sin_cos();
-                CMatrix::from_vec(
-                    2,
-                    2,
-                    vec![c(cos, 0.), c(0., -s), c(0., -s), c(cos, 0.)],
-                )
+                CMatrix::from_vec(2, 2, vec![c(cos, 0.), c(0., -s), c(0., -s), c(cos, 0.)])
             }
             Gate::Ry(theta) => {
                 let (s, cos) = (theta / 2.0).sin_cos();
@@ -134,7 +136,12 @@ impl Gate {
             Gate::Phase(phi) => CMatrix::from_vec(
                 2,
                 2,
-                vec![c(1., 0.), c(0., 0.), c(0., 0.), Complex64::from_polar(1.0, *phi)],
+                vec![
+                    c(1., 0.),
+                    c(0., 0.),
+                    c(0., 0.),
+                    Complex64::from_polar(1.0, *phi),
+                ],
             ),
             Gate::GlobalPhase(phi) => {
                 let p = Complex64::from_polar(1.0, *phi);

@@ -90,7 +90,10 @@ impl StateVector {
 
     /// Inner product `⟨self|other⟩`.
     pub fn inner(&self, other: &Self) -> Complex64 {
-        assert_eq!(self.num_qubits, other.num_qubits, "inner: register size mismatch");
+        assert_eq!(
+            self.num_qubits, other.num_qubits,
+            "inner: register size mismatch"
+        );
         self.amps
             .iter()
             .zip(&other.amps)
@@ -287,7 +290,11 @@ impl StateVector {
     /// Expectation value of a diagonal observable given by its values on the
     /// computational basis.
     pub fn expectation_diagonal(&self, values: &[f64]) -> f64 {
-        assert_eq!(values.len(), self.amps.len(), "observable dimension mismatch");
+        assert_eq!(
+            values.len(),
+            self.amps.len(),
+            "observable dimension mismatch"
+        );
         self.amps
             .iter()
             .zip(values)
@@ -376,7 +383,11 @@ mod tests {
             }
             circ.ccx(0, 1, 2);
             let sv = StateVector::run(&circ);
-            let expected = if input & 0b11 == 0b11 { input ^ 0b100 } else { input };
+            let expected = if input & 0b11 == 0b11 {
+                input ^ 0b100
+            } else {
+                input
+            };
             assert!(
                 (sv.probability(expected) - 1.0).abs() < 1e-13,
                 "input {input}: expected {expected}"
@@ -412,7 +423,12 @@ mod tests {
     #[test]
     fn norm_preserved_by_unitary_circuits() {
         let mut circ = Circuit::new(4);
-        circ.h(0).h(1).cry(0, 2, 1.1).ccx(1, 2, 3).rz(3, 0.3).swap(0, 3);
+        circ.h(0)
+            .h(1)
+            .cry(0, 2, 1.1)
+            .ccx(1, 2, 3)
+            .rz(3, 0.3)
+            .swap(0, 3);
         let sv = StateVector::run(&circ);
         assert!((sv.norm() - 1.0).abs() < 1e-12);
     }
@@ -463,7 +479,9 @@ mod tests {
         assert!((sv.probability_of_one(0) - 0.5).abs() < 1e-14);
         assert!(sv.probability_of_one(1) < 1e-14);
         // Z expectation on qubit 0 is 0 for |+>.
-        let z_values: Vec<f64> = (0..4).map(|i| if i & 1 == 0 { 1.0 } else { -1.0 }).collect();
+        let z_values: Vec<f64> = (0..4)
+            .map(|i| if i & 1 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(sv.expectation_diagonal(&z_values).abs() < 1e-14);
     }
 
@@ -485,7 +503,10 @@ mod tests {
         let x = Gate::X.matrix();
         let xx = x.kron(&x);
         let mut circ = Circuit::new(2);
-        circ.gate(Gate::Unitary(CMatrix::from_fn(4, 4, |i, j| xx[(i, j)])), &[0, 1]);
+        circ.gate(
+            Gate::Unitary(CMatrix::from_fn(4, 4, |i, j| xx[(i, j)])),
+            &[0, 1],
+        );
         let sv = StateVector::run(&circ);
         assert!((sv.probability(3) - 1.0).abs() < 1e-14);
     }

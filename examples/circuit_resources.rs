@@ -76,8 +76,14 @@ fn main() {
     let resources = solver.quantum_resources();
     println!("\nfull QSVT circuit (kappa = 2, eps_l = 0.05):");
     println!("  polynomial degree:       {}", resources.degree);
-    println!("  block-encoding calls:    {}", resources.block_encoding_calls);
-    println!("  data / ancilla qubits:   {} / {}", resources.data_qubits, resources.ancilla_qubits);
+    println!(
+        "  block-encoding calls:    {}",
+        resources.block_encoding_calls
+    );
+    println!(
+        "  data / ancilla qubits:   {} / {}",
+        resources.data_qubits, resources.ancilla_qubits
+    );
     if let Some(est) = &resources.circuit_estimate {
         println!(
             "  gates {} | depth {} | rotations {} | est. T count {}",
@@ -96,8 +102,14 @@ fn main() {
         bytes_per_scalar: 8,
     });
     println!("\nCPU-QPU communication budget for a 4-iteration refined solve:");
-    println!("  setup (BE + phases + SP(b)): {} bytes", schedule.setup_bytes());
-    println!("  per refinement iteration:    {} bytes", schedule.per_iteration_bytes());
+    println!(
+        "  setup (BE + phases + SP(b)): {} bytes",
+        schedule.setup_bytes()
+    );
+    println!(
+        "  per refinement iteration:    {} bytes",
+        schedule.per_iteration_bytes()
+    );
     println!(
         "  totals: {} bytes to the QPU, {} bytes back",
         schedule.total_bytes(Direction::CpuToQpu),

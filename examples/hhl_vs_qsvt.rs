@@ -32,19 +32,33 @@ fn main() {
         },
     );
     let hhl_result = hhl.solve_direction(&b);
-    let hhl_err = forward_error(&hhl_result.direction, &reference_direction)
-        .min(forward_error(&hhl_result.direction.scaled(-1.0), &reference_direction));
+    let hhl_err = forward_error(&hhl_result.direction, &reference_direction).min(forward_error(
+        &hhl_result.direction.scaled(-1.0),
+        &reference_direction,
+    ));
     println!("HHL (8 clock qubits):");
     println!("  direction error:        {hhl_err:.3e}");
-    println!("  success probability:    {:.3e}", hhl_result.success_probability);
-    println!("  qubits / gates:         {} / {}", hhl_result.total_qubits, hhl_result.gate_count);
+    println!(
+        "  success probability:    {:.3e}",
+        hhl_result.success_probability
+    );
+    println!(
+        "  qubits / gates:         {} / {}",
+        hhl_result.total_qubits, hhl_result.gate_count
+    );
 
     // Direct QSVT at moderate accuracy (single solve, no refinement).
     let direct = DirectQsvtSolver::new(&a, 1e-6, QsvtMode::Emulation).expect("direct QSVT");
     let direct_result = direct.solve(&b, &mut rng).expect("solve");
     println!("\nDirect QSVT at eps = 1e-6:");
-    println!("  scaled residual:        {:.3e}", direct_result.scaled_residual);
-    println!("  block-encoding calls:   {}", direct.block_encoding_calls());
+    println!(
+        "  scaled residual:        {:.3e}",
+        direct_result.scaled_residual
+    );
+    println!(
+        "  block-encoding calls:   {}",
+        direct.block_encoding_calls()
+    );
     println!(
         "  forward error vs LU:    {:.3e}",
         forward_error(&direct_result.solution, &reference)
@@ -64,8 +78,14 @@ fn main() {
     println!("\nQSVT + mixed-precision iterative refinement (eps = 1e-12, eps_l = 5e-2):");
     println!("  iterations:             {}", history.iterations());
     println!("  final scaled residual:  {:.3e}", history.final_residual());
-    println!("  total BE calls:         {}", history.total_block_encoding_calls());
-    println!("  forward error vs LU:    {:.3e}", forward_error(&x, &reference));
+    println!(
+        "  total BE calls:         {}",
+        history.total_block_encoding_calls()
+    );
+    println!(
+        "  forward error vs LU:    {:.3e}",
+        forward_error(&x, &reference)
+    );
 
     println!("\nTakeaway: HHL's accuracy is capped by its clock resolution, the direct QSVT");
     println!("pays a high per-solve cost to reach tight accuracies, and the refined solver");

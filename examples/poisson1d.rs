@@ -35,9 +35,11 @@ fn main() {
     let mut rng = experiment_rng(7);
     let (u_hybrid, history) = refiner.solve(&b, &mut rng).expect("hybrid solve");
 
-    println!("hybrid solver: {} refinement iterations, final scaled residual {:.3e}",
+    println!(
+        "hybrid solver: {} refinement iterations, final scaled residual {:.3e}",
         history.iterations(),
-        history.final_residual());
+        history.final_residual()
+    );
     println!(
         "agreement with the Thomas solver: {:.3e} (relative)",
         forward_error(&u_hybrid, &u_thomas)

@@ -16,6 +16,46 @@
 //! * [`qsvt`] (`qls-qsvt`) — QSP phases, QSVT circuits, matrix inversion;
 //! * [`core`] (`qls-core`) — the hybrid solver (Algorithm 2), cost models,
 //!   communication model and baselines.
+//!
+//! ## Workspace layout
+//!
+//! ```text
+//! Cargo.toml            workspace root + this `qls` facade crate
+//! src/lib.rs            facade: re-exports + prelude
+//! tests/                cross-crate integration and property tests
+//! examples/             runnable walkthroughs (see below)
+//! crates/<name>/        the seven qls-* member crates listed above
+//! crates/bench/         criterion benches + figure/table binaries
+//! vendor/<name>/        offline stand-ins for crates.io dependencies
+//! ```
+//!
+//! The `vendor/` crates exist because the build environment has no network
+//! access to crates.io: each one implements exactly the API subset the
+//! workspace consumes (see each `vendor/*/src/lib.rs` header).  Restoring
+//! the real dependencies is a `Cargo.toml`-only change.
+//!
+//! ## Building and testing
+//!
+//! The tier-1 gate every change must keep green:
+//!
+//! ```text
+//! cargo build --release && cargo test -q
+//! ```
+//!
+//! Wider sweeps: `cargo test --workspace` runs every member crate's suite;
+//! `cargo build --release --bins --examples` and `cargo bench --no-run`
+//! prove all binaries, examples and benches compile.
+//!
+//! ## Examples, benches, figure binaries
+//!
+//! * `cargo run --release --example quickstart` — end-to-end hybrid solve
+//!   (also `poisson1d`, `hhl_vs_qsvt`, `precision_tradeoff`,
+//!   `circuit_resources`).
+//! * `cargo bench` — criterion micro-benchmarks of every substrate
+//!   (`crates/bench/benches/`).
+//! * `cargo run --release -p qls-bench --bin table1` — regenerate Table I;
+//!   likewise `table2`, `fig1_comms` … `fig5_complexity` for every figure
+//!   and table of the paper's evaluation.
 
 pub use qls_core as core;
 pub use qls_encoding as encoding;
@@ -27,7 +67,7 @@ pub use qls_sim as sim;
 /// Everything the examples and typical downstream code need, in one import.
 pub mod prelude {
     pub use qls_core::{
-        classical_lu_solve, poisson_cost_breakdown, quantum_cost_comparison, qsvt_degree_model,
+        classical_lu_solve, poisson_cost_breakdown, qsvt_degree_model, quantum_cost_comparison,
         CommunicationParameters, CommunicationSchedule, CostParameters, DirectQsvtSolver,
         Direction, HhlOptions, HhlResult, HhlSolver, HybridHistory, HybridRefinementOptions,
         HybridRefiner, HybridStatus, PoissonCostParameters, QsvtLinearSolver, QsvtSolverOptions,
@@ -39,11 +79,11 @@ pub mod prelude {
     pub use qls_linalg::generate::{
         random_matrix_with_cond, random_unit_vector, MatrixEnsemble, SingularValueDistribution,
     };
+    pub use qls_linalg::tridiag::{poisson_rhs, sample_on_grid};
     pub use qls_linalg::{
         backward_error, cond_2, forward_error, poisson_1d, poisson_1d_condition_number,
         scaled_residual, ClassicalRefiner, Matrix, RefinementOptions, Vector,
     };
-    pub use qls_linalg::tridiag::{poisson_rhs, sample_on_grid};
     pub use qls_poly::{ChebyshevSeries, InversePolynomial};
     pub use qls_qsvt::{QsvtInverter, QsvtMode};
     pub use qls_sim::{estimate_resources, Circuit, Gate, StateVector, TCountModel};

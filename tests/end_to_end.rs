@@ -32,7 +32,11 @@ fn fig3_setting_converges_within_the_theorem_bound_for_all_epsilon_l() {
         .unwrap();
         let mut rng = experiment_rng(2);
         let (x, history) = refiner.solve(&b, &mut rng).unwrap();
-        assert_eq!(history.status, HybridStatus::Converged, "eps_l = {epsilon_l}");
+        assert_eq!(
+            history.status,
+            HybridStatus::Converged,
+            "eps_l = {epsilon_l}"
+        );
         assert!(history.final_residual() <= 1e-11);
         let bound = history.iteration_bound().expect("bound applies");
         assert!(

@@ -1,0 +1,236 @@
+//! Offline vendored stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the API subset the `qls-bench` benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple timing loop instead of criterion's statistical machinery:
+//! each benchmark is warmed up once, then timed over `sample_size` batches,
+//! and the per-iteration mean / min are printed.  Good enough to spot
+//! order-of-magnitude regressions offline; the real crate drops back in
+//! without source changes (ROADMAP.md "Open items").
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Identifier of a parameterised benchmark, e.g. `factor+solve/64`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        Self { id }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean and minimum per-iteration time of the last `iter` call.
+    last: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up run, untimed.
+        std::hint::black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+        }
+        self.last = Some((total / self.samples as u32, min));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples,
+        last: None,
+    };
+    f(&mut bencher);
+    match bencher.last {
+        Some((mean, min)) => {
+            println!("bench {name:<56} mean {mean:>12.2?}   min {min:>12.2?}   ({samples} samples)")
+        }
+        None => println!("bench {name:<56} (no iter() call)"),
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, self.samples, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, self.samples, |bencher| f(bencher, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into_benchmark_id(), self.default_samples, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.default_samples = samples.max(1);
+        self
+    }
+
+    /// Configuration hook kept for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// Re-exported for call sites that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run_their_closures() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("stub");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_function("count", |bencher| {
+            bencher.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+}

@@ -1,0 +1,442 @@
+//! Offline stand-in for the [`num-complex`](https://crates.io/crates/num-complex)
+//! crate.  Implements `Complex<T>` for the float types this workspace uses,
+//! with the field names, constructors and method set of the real crate so a
+//! later swap back to crates.io is transparent.
+
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + im·i`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Complex<T> {
+    pub re: T,
+    pub im: T,
+}
+
+pub type Complex32 = Complex<f32>;
+pub type Complex64 = Complex<f64>;
+
+impl<T> Complex<T> {
+    #[inline]
+    pub const fn new(re: T, im: T) -> Self {
+        Self { re, im }
+    }
+}
+
+/// Forward every `&`-operand combination of a binary op to the by-value impl,
+/// matching the real num-complex's reference impls.
+macro_rules! forward_ref_binop {
+    ($t:ty, $op:ident, $method:ident) => {
+        impl $op<&Complex<$t>> for Complex<$t> {
+            type Output = Complex<$t>;
+            #[inline]
+            fn $method(self, rhs: &Complex<$t>) -> Complex<$t> {
+                self.$method(*rhs)
+            }
+        }
+
+        impl $op<Complex<$t>> for &Complex<$t> {
+            type Output = Complex<$t>;
+            #[inline]
+            fn $method(self, rhs: Complex<$t>) -> Complex<$t> {
+                (*self).$method(rhs)
+            }
+        }
+
+        impl $op<&Complex<$t>> for &Complex<$t> {
+            type Output = Complex<$t>;
+            #[inline]
+            fn $method(self, rhs: &Complex<$t>) -> Complex<$t> {
+                (*self).$method(*rhs)
+            }
+        }
+
+        impl $op<$t> for &Complex<$t> {
+            type Output = Complex<$t>;
+            #[inline]
+            fn $method(self, rhs: $t) -> Complex<$t> {
+                (*self).$method(rhs)
+            }
+        }
+
+        impl $op<&$t> for Complex<$t> {
+            type Output = Complex<$t>;
+            #[inline]
+            fn $method(self, rhs: &$t) -> Complex<$t> {
+                self.$method(*rhs)
+            }
+        }
+
+        impl $op<&Complex<$t>> for $t {
+            type Output = Complex<$t>;
+            #[inline]
+            fn $method(self, rhs: &Complex<$t>) -> Complex<$t> {
+                self.$method(*rhs)
+            }
+        }
+    };
+}
+
+macro_rules! impl_complex_float {
+    ($t:ty) => {
+        impl Complex<$t> {
+            pub const ZERO: Self = Self::new(0.0, 0.0);
+            pub const ONE: Self = Self::new(1.0, 0.0);
+            pub const I: Self = Self::new(0.0, 1.0);
+
+            /// The imaginary unit.
+            #[inline]
+            pub const fn i() -> Self {
+                Self::I
+            }
+
+            /// Build from polar form `r·e^{iθ}`.
+            #[inline]
+            pub fn from_polar(r: $t, theta: $t) -> Self {
+                Self::new(r * theta.cos(), r * theta.sin())
+            }
+
+            /// Complex cis(θ) = e^{iθ}.
+            #[inline]
+            pub fn cis(theta: $t) -> Self {
+                Self::from_polar(1.0, theta)
+            }
+
+            /// Squared modulus `re² + im²`.
+            #[inline]
+            pub fn norm_sqr(&self) -> $t {
+                self.re * self.re + self.im * self.im
+            }
+
+            /// Modulus, computed with `hypot` for robustness.
+            #[inline]
+            pub fn norm(&self) -> $t {
+                self.re.hypot(self.im)
+            }
+
+            /// L1 norm `|re| + |im|`.
+            #[inline]
+            pub fn l1_norm(&self) -> $t {
+                self.re.abs() + self.im.abs()
+            }
+
+            /// Argument (phase angle) in `(-π, π]`.
+            #[inline]
+            pub fn arg(&self) -> $t {
+                self.im.atan2(self.re)
+            }
+
+            /// Complex conjugate.
+            #[inline]
+            pub fn conj(&self) -> Self {
+                Self::new(self.re, -self.im)
+            }
+
+            /// Polar decomposition `(r, θ)`.
+            #[inline]
+            pub fn to_polar(&self) -> ($t, $t) {
+                (self.norm(), self.arg())
+            }
+
+            /// Multiplicative inverse.
+            #[inline]
+            pub fn inv(&self) -> Self {
+                let d = self.norm_sqr();
+                Self::new(self.re / d, -self.im / d)
+            }
+
+            /// Multiply by a real scalar.
+            #[inline]
+            pub fn scale(&self, t: $t) -> Self {
+                Self::new(self.re * t, self.im * t)
+            }
+
+            /// Divide by a real scalar.
+            #[inline]
+            pub fn unscale(&self, t: $t) -> Self {
+                Self::new(self.re / t, self.im / t)
+            }
+
+            /// Complex exponential.
+            #[inline]
+            pub fn exp(&self) -> Self {
+                Self::from_polar(self.re.exp(), self.im)
+            }
+
+            /// Principal natural logarithm.
+            #[inline]
+            pub fn ln(&self) -> Self {
+                Self::new(self.norm().ln(), self.arg())
+            }
+
+            /// Principal square root.
+            #[inline]
+            pub fn sqrt(&self) -> Self {
+                let (r, theta) = self.to_polar();
+                Self::from_polar(r.sqrt(), theta / 2.0)
+            }
+
+            /// Integer power by repeated polar scaling.
+            #[inline]
+            pub fn powi(&self, n: i32) -> Self {
+                let (r, theta) = self.to_polar();
+                Self::from_polar(r.powi(n), theta * n as $t)
+            }
+
+            /// Real power.
+            #[inline]
+            pub fn powf(&self, x: $t) -> Self {
+                let (r, theta) = self.to_polar();
+                Self::from_polar(r.powf(x), theta * x)
+            }
+
+            #[inline]
+            pub fn is_nan(&self) -> bool {
+                self.re.is_nan() || self.im.is_nan()
+            }
+
+            #[inline]
+            pub fn is_finite(&self) -> bool {
+                self.re.is_finite() && self.im.is_finite()
+            }
+        }
+
+        impl Add for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self::new(self.re + rhs.re, self.im + rhs.im)
+            }
+        }
+
+        impl Sub for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self::new(self.re - rhs.re, self.im - rhs.im)
+            }
+        }
+
+        impl Mul for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: Self) -> Self {
+                Self::new(
+                    self.re * rhs.re - self.im * rhs.im,
+                    self.re * rhs.im + self.im * rhs.re,
+                )
+            }
+        }
+
+        impl Div for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: Self) -> Self {
+                let d = rhs.norm_sqr();
+                Self::new(
+                    (self.re * rhs.re + self.im * rhs.im) / d,
+                    (self.im * rhs.re - self.re * rhs.im) / d,
+                )
+            }
+        }
+
+        impl Neg for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self::new(-self.re, -self.im)
+            }
+        }
+
+        impl Add<$t> for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: $t) -> Self {
+                Self::new(self.re + rhs, self.im)
+            }
+        }
+
+        impl Sub<$t> for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: $t) -> Self {
+                Self::new(self.re - rhs, self.im)
+            }
+        }
+
+        impl Mul<$t> for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: $t) -> Self {
+                self.scale(rhs)
+            }
+        }
+
+        impl Div<$t> for Complex<$t> {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: $t) -> Self {
+                self.unscale(rhs)
+            }
+        }
+
+        impl Add<Complex<$t>> for $t {
+            type Output = Complex<$t>;
+            #[inline]
+            fn add(self, rhs: Complex<$t>) -> Complex<$t> {
+                Complex::new(self + rhs.re, rhs.im)
+            }
+        }
+
+        impl Sub<Complex<$t>> for $t {
+            type Output = Complex<$t>;
+            #[inline]
+            fn sub(self, rhs: Complex<$t>) -> Complex<$t> {
+                Complex::new(self - rhs.re, -rhs.im)
+            }
+        }
+
+        impl Mul<Complex<$t>> for $t {
+            type Output = Complex<$t>;
+            #[inline]
+            fn mul(self, rhs: Complex<$t>) -> Complex<$t> {
+                rhs.scale(self)
+            }
+        }
+
+        impl Div<Complex<$t>> for $t {
+            type Output = Complex<$t>;
+            #[inline]
+            fn div(self, rhs: Complex<$t>) -> Complex<$t> {
+                rhs.inv().scale(self)
+            }
+        }
+
+        forward_ref_binop!($t, Add, add);
+        forward_ref_binop!($t, Sub, sub);
+        forward_ref_binop!($t, Mul, mul);
+        forward_ref_binop!($t, Div, div);
+
+        impl Neg for &Complex<$t> {
+            type Output = Complex<$t>;
+            #[inline]
+            fn neg(self) -> Complex<$t> {
+                -*self
+            }
+        }
+
+        impl AddAssign for Complex<$t> {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl SubAssign for Complex<$t> {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+
+        impl MulAssign for Complex<$t> {
+            #[inline]
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = *self * rhs;
+            }
+        }
+
+        impl DivAssign for Complex<$t> {
+            #[inline]
+            fn div_assign(&mut self, rhs: Self) {
+                *self = *self / rhs;
+            }
+        }
+
+        impl MulAssign<$t> for Complex<$t> {
+            #[inline]
+            fn mul_assign(&mut self, rhs: $t) {
+                *self = self.scale(rhs);
+            }
+        }
+
+        impl DivAssign<$t> for Complex<$t> {
+            #[inline]
+            fn div_assign(&mut self, rhs: $t) {
+                *self = self.unscale(rhs);
+            }
+        }
+
+        impl Sum for Complex<$t> {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |acc, c| acc + c)
+            }
+        }
+
+        impl<'a> Sum<&'a Complex<$t>> for Complex<$t> {
+            fn sum<I: Iterator<Item = &'a Complex<$t>>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |acc, c| acc + *c)
+            }
+        }
+
+        impl Product for Complex<$t> {
+            fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ONE, |acc, c| acc * c)
+            }
+        }
+
+        impl From<$t> for Complex<$t> {
+            #[inline]
+            fn from(re: $t) -> Self {
+                Self::new(re, 0.0)
+            }
+        }
+
+        impl fmt::Display for Complex<$t> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.im < 0.0 {
+                    write!(f, "{}-{}i", self.re, -self.im)
+                } else {
+                    write!(f, "{}+{}i", self.re, self.im)
+                }
+            }
+        }
+    };
+}
+
+impl_complex_float!(f32);
+impl_complex_float!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(-0.25, 3.0);
+        assert!(((a * b) / b - a).norm() < 1e-12);
+        assert!((a * a.inv() - Complex64::ONE).norm() < 1e-12);
+        assert!((a + b - b - a).norm() < 1e-15);
+        assert_eq!((a.conj() * a).im, 0.0);
+        assert!(((a.conj() * a).re - a.norm_sqr()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.0, 0.7);
+        let (r, theta) = z.to_polar();
+        assert!((r - 2.0).abs() < 1e-12);
+        assert!((theta - 0.7).abs() < 1e-12);
+        assert!((z.sqrt() * z.sqrt() - z).norm() < 1e-12);
+    }
+
+    #[test]
+    fn sum_and_scale() {
+        let zs = [Complex64::new(1.0, 1.0), Complex64::new(2.0, -3.0)];
+        let s: Complex64 = zs.iter().sum();
+        assert_eq!(s, Complex64::new(3.0, -2.0));
+        assert_eq!(2.0 * Complex64::new(1.0, -1.0), Complex64::new(2.0, -2.0));
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline stand-in for the [`rand_chacha`](https://crates.io/crates/rand_chacha)
+//! crate: a genuine ChaCha-core RNG (RFC 8439 block function with a 64-bit
+//! block counter), parameterised by round count.
+//!
+//! Only the construction paths the workspace uses are provided
+//! (`SeedableRng::from_seed` / `seed_from_u64` and the `RngCore` word
+//! stream).  Streams are deterministic and portable but not bit-identical to
+//! the real `rand_chacha` word order; every consumer in this repository only
+//! relies on determinism, not on a specific published stream.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// ChaCha random number generator performing `ROUNDS` rounds, i.e.
+/// `ROUNDS/2` column+diagonal double rounds (`ROUNDS = 8/12/20` matching
+/// ChaCha8/ChaCha12/ChaCha20).
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const ROUNDS: usize> {
+    /// Key + nonce part of the initial state (words 4..14 fixed, 14..16 nonce).
+    key: [u32; 8],
+    nonce: [u32; 2],
+    counter: u64,
+    buffer: [u32; 16],
+    /// Next unconsumed word in `buffer`; 16 means "refill".
+    cursor: usize,
+}
+
+pub type ChaCha8Rng = ChaChaRng<8>;
+pub type ChaCha12Rng = ChaChaRng<12>;
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const ROUNDS: usize> ChaChaRng<ROUNDS> {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.nonce[0];
+        state[15] = self.nonce[1];
+
+        let mut working = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, init) in working.iter_mut().zip(state.iter()) {
+            *out = out.wrapping_add(*init);
+        }
+        self.buffer = working;
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+
+    /// Number of 32-bit words produced so far.  `refill` pre-increments the
+    /// block counter, so a live buffer belongs to block `counter - 1`.
+    pub fn get_word_pos(&self) -> u128 {
+        if self.cursor >= 16 {
+            (self.counter as u128) * 16
+        } else {
+            (self.counter as u128 - 1) * 16 + self.cursor as u128
+        }
+    }
+}
+
+impl<const ROUNDS: usize> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Self {
+            key,
+            nonce: [0, 0],
+            counter: 0,
+            buffer: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl<const ROUNDS: usize> RngCore for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.cursor];
+        self.cursor += 1;
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_matches_rfc8439_keystream() {
+        // RFC 8439 §2.3.2 test vector: key 00 01 02 .. 1f, counter 1,
+        // nonce 00 00 00 09 00 00 00 4a 00 00 00 00 (we use a 64-bit counter
+        // layout, so reproduce the vector with counter word splicing).
+        let mut key_bytes = [0u8; 32];
+        for (i, b) in key_bytes.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        // RFC words 12..16 are (counter=1, 0x09000000, 0x4a000000, 0); our
+        // state packs a 64-bit counter into words 12..14, so word 13 rides in
+        // the counter's high half and words 14..16 are the two nonce words.
+        let mut rng = ChaCha20Rng::from_seed(key_bytes);
+        rng.nonce = [0x4a00_0000, 0];
+        rng.counter = 1 | (0x0900_0000u64 << 32);
+        rng.refill();
+        assert_eq!(rng.buffer[0], 0xe4e7_f110);
+        assert_eq!(rng.buffer[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        let mut c = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn word_position_counts_consumed_words() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(rng.get_word_pos(), 0);
+        rng.next_u32();
+        assert_eq!(rng.get_word_pos(), 1);
+        for _ in 0..15 {
+            rng.next_u32();
+        }
+        assert_eq!(rng.get_word_pos(), 16);
+        rng.next_u32();
+        assert_eq!(rng.get_word_pos(), 17);
+    }
+
+    #[test]
+    fn unit_doubles_look_uniform() {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+}

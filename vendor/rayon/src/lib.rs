@@ -1,0 +1,140 @@
+//! Offline vendored stand-in for [`rayon`](https://crates.io/crates/rayon).
+//!
+//! The build container has no crates.io access, so the parallel-iterator
+//! entry points the workspace uses (`into_par_iter`, `par_iter`,
+//! `par_chunks`, `par_chunks_mut`) are provided here as **sequential**
+//! adapters returning ordinary `std` iterators.  All call sites keep their
+//! rayon shape, so restoring the real crate later re-enables parallelism
+//! with zero source changes (tracked in ROADMAP.md "Open items").
+//!
+//! Because the adapters return `std` iterators, the full `Iterator` method
+//! set (`map`, `enumerate`, `for_each`, `collect`, …) doubles as the
+//! `ParallelIterator` surface.
+
+/// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoIterator,
+{
+    type Item = <&'data I as IntoIterator>::Item;
+    type Iter = <&'data I as IntoIterator>::IntoIter;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+where
+    &'data mut I: IntoIterator,
+{
+    type Item = <&'data mut I as IntoIterator>::Item;
+    type Iter = <&'data mut I as IntoIterator>::IntoIter;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> core::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> core::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Sequential stand-in for `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> core::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> core::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// Number of "worker threads" — always 1 in the sequential stand-in.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod iter {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+pub mod slice {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_match_sequential_results() {
+        let squares: Vec<usize> = (0..8usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+
+        let mut data = [1u32; 6];
+        data.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|x| *x += i as u32));
+        assert_eq!(data, [1, 1, 2, 2, 3, 3]);
+
+        let total: u32 = data.par_iter().sum();
+        assert_eq!(total, 12);
+    }
+}

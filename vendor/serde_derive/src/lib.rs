@@ -1,0 +1,142 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The container cannot reach crates.io, so this proc-macro crate (which
+//! needs nothing beyond the compiler-provided `proc_macro` API) emits
+//! *marker* impls for the vendored `serde`'s empty `Serialize` /
+//! `Deserialize` traits.  That keeps every `#[derive(Serialize)]` in the
+//! workspace compiling unchanged; actual wire formats arrive when the real
+//! serde is restored (ROADMAP "Open items").
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Parsed shape of a `struct`/`enum` item: its name, the declaration-site
+/// generics (`<T: Bound, const N: usize>`) and the use-site type arguments
+/// with bounds and defaults stripped (`<T, N>`).
+struct Item {
+    name: String,
+    decl_generics: String,
+    use_generics: String,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes and visibility until the `struct` / `enum` keyword.
+    for tt in tokens.by_ref() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive stub: expected type name, found {other:?}"),
+    };
+
+    // Collect the token texts between the outer `<` and `>` if present.
+    let mut inner: Vec<String> = Vec::new();
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        for tt in tokens.by_ref() {
+            let text = tt.to_string();
+            match text.as_str() {
+                "<" => {
+                    depth += 1;
+                    if depth == 1 {
+                        continue;
+                    }
+                }
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            inner.push(text);
+        }
+    }
+    if inner.is_empty() {
+        return Item {
+            name,
+            decl_generics: String::new(),
+            use_generics: String::new(),
+        };
+    }
+
+    // Split the parameter list at top-level commas (depth tracked on < >;
+    // parens/brackets/braces arrive as single group tokens, so only angle
+    // brackets can nest here) and keep just each parameter's identifier:
+    // `'a` -> `'a`, `T: Bound = Default` -> `T`, `const N: usize` -> `N`.
+    let mut params: Vec<Vec<String>> = vec![Vec::new()];
+    let mut depth = 0i32;
+    for text in &inner {
+        match text.as_str() {
+            "<" => depth += 1,
+            ">" => depth -= 1,
+            "," if depth == 0 => {
+                params.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        params.last_mut().unwrap().push(text.clone());
+    }
+    let mut use_args: Vec<String> = Vec::new();
+    for param in params.iter().filter(|p| !p.is_empty()) {
+        if param[0] == "'" {
+            // A lifetime arrives as a `'` punct followed by its identifier.
+            use_args.push(format!("'{}", param.get(1).cloned().unwrap_or_default()));
+        } else if param[0] == "const" {
+            use_args.push(param.get(1).cloned().unwrap_or_default());
+        } else {
+            use_args.push(param[0].clone());
+        }
+    }
+
+    // Join declaration tokens, keeping `'` glued to the lifetime name.
+    let mut decl = String::from("<");
+    for text in &inner {
+        if !decl.ends_with(['<', '\'']) {
+            decl.push(' ');
+        }
+        decl.push_str(text);
+    }
+    decl.push('>');
+
+    Item {
+        name,
+        decl_generics: decl,
+        use_generics: format!("<{}>", use_args.join(", ")),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!(
+        "impl {} ::serde::Serialize for {} {} {{}}",
+        item.decl_generics, item.name, item.use_generics
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let impl_generics = if item.decl_generics.is_empty() {
+        "<'de>".to_string()
+    } else {
+        // Splice the 'de lifetime into the existing parameter list.
+        format!("<'de, {}", item.decl_generics.trim_start_matches('<'))
+    };
+    format!(
+        "impl {impl_generics} ::serde::Deserialize<'de> for {} {} {{}}",
+        item.name, item.use_generics
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl failed to parse")
+}
