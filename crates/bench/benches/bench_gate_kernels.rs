@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the specialized in-place gate kernels
+//! against the retained generic reference path, per kernel class, plus the
+//! compile-once/apply-many circuit path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qls_bench::{dense_two_qubit_gate, layered_circuit};
+use qls_sim::kernels::reference;
+use qls_sim::{Circuit, CompiledCircuit, Gate, Operation, StateVector};
+
+const N: usize = 12;
+
+/// A non-trivial state to apply single gates to (uniform superposition).
+fn plus_state(n: usize) -> StateVector {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    StateVector::run(&c)
+}
+
+fn bench_kernel_classes(c: &mut Criterion) {
+    let cases: Vec<(&str, Operation)> = vec![
+        (
+            "single_qubit_h",
+            Operation::new(Gate::H, vec![N / 2], vec![]),
+        ),
+        (
+            "diagonal_rz",
+            Operation::new(Gate::Rz(0.7), vec![N / 2], vec![]),
+        ),
+        (
+            "phase_shift_t",
+            Operation::new(Gate::T, vec![N / 2], vec![]),
+        ),
+        ("flip_x", Operation::new(Gate::X, vec![N / 2], vec![])),
+        (
+            "controlled_flip_cx",
+            Operation::new(Gate::X, vec![1], vec![N - 1]),
+        ),
+        ("swap", Operation::new(Gate::Swap, vec![0, N - 1], vec![])),
+        (
+            "generic_2q_unitary",
+            Operation::new(dense_two_qubit_gate(), vec![1, N - 2], vec![]),
+        ),
+    ];
+    let mut group = c.benchmark_group("sim/kernel_vs_generic");
+    group.sample_size(50);
+    for (name, op) in &cases {
+        let mut sv = plus_state(N);
+        group.bench_function(format!("{name}/kernel"), |bench| {
+            bench.iter(|| {
+                sv.apply_op(std::hint::black_box(op));
+            })
+        });
+        let mut sv = plus_state(N);
+        group.bench_function(format!("{name}/generic"), |bench| {
+            bench.iter(|| {
+                reference::apply_op(&mut sv, std::hint::black_box(op));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compiled_circuit(c: &mut Criterion) {
+    let circuit = layered_circuit(10, 10);
+    let compiled = CompiledCircuit::compile(&circuit);
+    let mut group = c.benchmark_group("sim/circuit_execution");
+    group.sample_size(20);
+    group.bench_function("compiled_reuse", |bench| {
+        let mut sv = StateVector::zero_state(10);
+        bench.iter(|| {
+            sv.reset_to_basis(0);
+            compiled.apply(&mut sv);
+            std::hint::black_box(sv.probability(0))
+        })
+    });
+    group.bench_function("compile_and_apply", |bench| {
+        bench.iter(|| std::hint::black_box(StateVector::run(&circuit)))
+    });
+    group.bench_function("generic_reference", |bench| {
+        bench.iter(|| {
+            let mut sv = StateVector::zero_state(10);
+            reference::apply_circuit(&mut sv, &circuit);
+            std::hint::black_box(sv.probability(0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_classes, bench_compiled_circuit);
+criterion_main!(benches);

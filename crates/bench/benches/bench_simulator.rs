@@ -3,6 +3,7 @@
 //! reproduction uses (4 data qubits + ancillas).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qls_bench::layered_circuit;
 use qls_sim::{circuit_unitary, Circuit, StateVector};
 
 fn ghz_circuit(n: usize) -> Circuit {
@@ -10,19 +11,6 @@ fn ghz_circuit(n: usize) -> Circuit {
     c.h(0);
     for q in 1..n {
         c.cx(q - 1, q);
-    }
-    c
-}
-
-fn layered_circuit(n: usize, layers: usize) -> Circuit {
-    let mut c = Circuit::new(n);
-    for l in 0..layers {
-        for q in 0..n {
-            c.ry(q, 0.1 * (l + q) as f64);
-        }
-        for q in 0..n - 1 {
-            c.cx(q, q + 1);
-        }
     }
     c
 }

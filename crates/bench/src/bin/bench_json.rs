@@ -1,0 +1,216 @@
+//! `bench_json` — the machine-readable perf-trajectory benchmark.
+//!
+//! Times representative simulator workloads and writes `BENCH_simulator.json`
+//! so every future PR can compare against the recorded numbers:
+//!
+//! 1. a random mixed-gate circuit on 16 qubits (the simulator hot path),
+//!    measured through the specialized kernel dispatch *and* through the
+//!    retained generic reference path of `qls_sim::kernels::reference`, both
+//!    pinned to one thread — their ratio is the kernel speedup — plus the
+//!    kernel path at the machine's full thread count for the parallel scaling
+//!    factor;
+//! 2. a full gate-level QSVT solve on the paper's 4-qubit (N = 16) test
+//!    system (Section IV experimental setup);
+//! 3. dense-unitary extraction (`circuit_unitary`), the verification hot
+//!    loop.
+//!
+//! Usage: `bench_json [--preset small|full] [--out PATH]`.  The `small`
+//! preset shrinks every workload so CI can validate the artifact in seconds;
+//! the committed `BENCH_simulator.json` comes from the `full` preset.
+
+use qls_bench::{layered_circuit, paper_test_system, random_circuit};
+use qls_qsvt::{QsvtInverter, QsvtMode};
+use qls_sim::kernels::reference;
+use qls_sim::{circuit_unitary, StateVector};
+use rayon::ThreadPoolBuilder;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Preset {
+    name: &'static str,
+    random_qubits: usize,
+    random_ops: usize,
+    random_reps: usize,
+    generic_reps: usize,
+    qsvt_n: usize,
+    qsvt_kappa: f64,
+    qsvt_eps: f64,
+    unitary_qubits: usize,
+    unitary_layers: usize,
+}
+
+const FULL: Preset = Preset {
+    name: "full",
+    random_qubits: 16,
+    random_ops: 120,
+    random_reps: 5,
+    generic_reps: 3,
+    qsvt_n: 16,
+    qsvt_kappa: 8.0,
+    qsvt_eps: 0.05,
+    unitary_qubits: 8,
+    unitary_layers: 5,
+};
+
+const SMALL: Preset = Preset {
+    name: "small",
+    random_qubits: 10,
+    random_ops: 40,
+    random_reps: 3,
+    generic_reps: 2,
+    qsvt_n: 4,
+    qsvt_kappa: 2.0,
+    qsvt_eps: 0.05,
+    unitary_qubits: 5,
+    unitary_layers: 3,
+};
+
+/// Minimum over `reps` timed runs of `f`, in seconds.
+fn time_min(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn single_thread_pool() -> rayon::ThreadPool {
+    ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool")
+}
+
+fn main() {
+    let mut preset = FULL;
+    let mut out_path = String::from("BENCH_simulator.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--preset" => {
+                let v = args.next().expect("--preset needs a value");
+                preset = match v.as_str() {
+                    "full" => FULL,
+                    "small" => SMALL,
+                    other => panic!("unknown preset {other:?} (use small|full)"),
+                };
+            }
+            "--out" => out_path = args.next().expect("--out needs a value"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let machine_threads = rayon::current_num_threads();
+    eprintln!(
+        "bench_json: preset = {}, machine threads = {machine_threads}",
+        preset.name
+    );
+
+    // -- Workload 1: random mixed-gate circuit (the hot path) ---------------
+    let circ = random_circuit(preset.random_qubits, preset.random_ops, 20260728);
+    let n = preset.random_qubits;
+    let kernel_1t = single_thread_pool().install(|| {
+        time_min(preset.random_reps, || {
+            std::hint::black_box(StateVector::run(&circ));
+        })
+    });
+    let generic_1t = single_thread_pool().install(|| {
+        time_min(preset.generic_reps, || {
+            let mut sv = StateVector::zero_state(n);
+            reference::apply_circuit(&mut sv, &circ);
+            std::hint::black_box(sv.probability(0));
+        })
+    });
+    let kernel_nt = time_min(preset.random_reps, || {
+        std::hint::black_box(StateVector::run(&circ));
+    });
+    let kernel_speedup = generic_1t / kernel_1t;
+    let parallel_speedup = kernel_1t / kernel_nt;
+    eprintln!(
+        "  random_{n}q: kernel {kernel_1t:.4}s, generic {generic_1t:.4}s \
+         ({kernel_speedup:.1}x), {machine_threads}-thread {kernel_nt:.4}s \
+         ({parallel_speedup:.2}x scaling)"
+    );
+
+    // -- Workload 2: QSVT solve on the paper's test system ------------------
+    let (a, b) = paper_test_system(preset.qsvt_n, preset.qsvt_kappa, 1);
+    let build_start = Instant::now();
+    let inverter = QsvtInverter::new(&a, preset.qsvt_eps, QsvtMode::CircuitReal)
+        .expect("QSVT inverter construction");
+    let qsvt_build = build_start.elapsed().as_secs_f64();
+    let degree = inverter.resources().degree;
+    let qsvt_solve = time_min(2, || {
+        std::hint::black_box(inverter.solve_direction(&b).expect("QSVT solve"));
+    });
+    eprintln!(
+        "  qsvt_solve n={} kappa={} eps={:.0e}: degree {degree}, build {qsvt_build:.4}s, \
+         solve {qsvt_solve:.4}s",
+        preset.qsvt_n, preset.qsvt_kappa, preset.qsvt_eps
+    );
+
+    // -- Workload 3: dense-unitary extraction -------------------------------
+    let ucirc = layered_circuit(preset.unitary_qubits, preset.unitary_layers);
+    let unitary_secs = time_min(2, || {
+        std::hint::black_box(circuit_unitary(&ucirc));
+    });
+    eprintln!(
+        "  circuit_unitary {}q x {} layers: {unitary_secs:.4}s",
+        preset.unitary_qubits, preset.unitary_layers
+    );
+
+    // -- Emit JSON -----------------------------------------------------------
+    let unix_seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        r#"{{
+  "schema": "qls-bench/simulator/v1",
+  "preset": "{preset_name}",
+  "unix_seconds": {unix_seconds},
+  "machine_threads": {machine_threads},
+  "workloads": [
+    {{
+      "name": "random_circuit",
+      "qubits": {n},
+      "ops": {ops},
+      "kernel_single_thread_seconds": {kernel_1t:.6},
+      "generic_single_thread_seconds": {generic_1t:.6},
+      "kernel_parallel_seconds": {kernel_nt:.6},
+      "kernel_vs_generic_speedup": {kernel_speedup:.3},
+      "parallel_vs_single_thread_speedup": {parallel_speedup:.3}
+    }},
+    {{
+      "name": "qsvt_solve_circuit_mode",
+      "matrix_size": {qsvt_n},
+      "kappa": {qsvt_kappa},
+      "epsilon": {qsvt_eps:e},
+      "polynomial_degree": {degree},
+      "build_seconds": {qsvt_build:.6},
+      "solve_seconds": {qsvt_solve:.6}
+    }},
+    {{
+      "name": "circuit_unitary",
+      "qubits": {uq},
+      "layers": {ul},
+      "seconds": {unitary_secs:.6}
+    }}
+  ]
+}}
+"#,
+        preset_name = preset.name,
+        ops = preset.random_ops,
+        qsvt_n = preset.qsvt_n,
+        qsvt_kappa = preset.qsvt_kappa,
+        qsvt_eps = preset.qsvt_eps,
+        uq = preset.unitary_qubits,
+        ul = preset.unitary_layers,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    eprintln!("bench_json: wrote {out_path}");
+    print!("{json}");
+}

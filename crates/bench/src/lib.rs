@@ -27,7 +27,8 @@ use qls_linalg::generate::{
     random_matrix_with_cond, random_unit_vector, MatrixEnsemble, SingularValueDistribution,
 };
 use qls_linalg::{Matrix, Vector};
-use rand::SeedableRng;
+use qls_sim::{Circuit, Gate};
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// Deterministic random test system of size `n` with condition number `kappa`
@@ -49,6 +50,70 @@ pub fn paper_test_system(n: usize, kappa: f64, seed: u64) -> (Matrix<f64>, Vecto
 /// A deterministic RNG for experiment runs.
 pub fn experiment_rng(seed: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// A deterministic random circuit mixing every simulator kernel class
+/// (dense single-qubit rotations, diagonal/phase gates, X/SWAP permutations,
+/// CX/CCX controlled flips and controlled rotations), used by the simulator
+/// benchmarks as a representative gate workload.
+pub fn random_circuit(num_qubits: usize, num_ops: usize, seed: u64) -> Circuit {
+    assert!(num_qubits >= 2, "random_circuit needs at least 2 qubits");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut circ = Circuit::new(num_qubits);
+    for _ in 0..num_ops {
+        let q = rng.gen_range(0..num_qubits);
+        let mut other = rng.gen_range(0..num_qubits - 1);
+        if other >= q {
+            other += 1;
+        }
+        match rng.gen_range(0..10u32) {
+            0 => circ.h(q),
+            1 => circ.x(q),
+            2 => circ.ry(q, rng.gen_range(-3.0..3.0)),
+            3 => circ.rz(q, rng.gen_range(-3.0..3.0)),
+            4 => circ.t(q),
+            5 => circ.phase(q, rng.gen_range(-3.0..3.0)),
+            6 => circ.swap(q, other),
+            7 => circ.cx(q, other),
+            8 => circ.cry(q, other, rng.gen_range(-3.0..3.0)),
+            _ => {
+                if num_qubits >= 3 {
+                    let mut third = rng.gen_range(0..num_qubits - 2);
+                    for used in [q.min(other), q.max(other)] {
+                        if third >= used {
+                            third += 1;
+                        }
+                    }
+                    circ.ccx(q, other, third)
+                } else {
+                    circ.cz(q, other)
+                }
+            }
+        };
+    }
+    circ
+}
+
+/// A brickwork circuit of parameterised single-qubit rotations and CX chains
+/// (the layered workload used by the simulator benches).
+pub fn layered_circuit(num_qubits: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::new(num_qubits);
+    for l in 0..layers {
+        for q in 0..num_qubits {
+            c.ry(q, 0.1 * (l + q) as f64);
+        }
+        for q in 0..num_qubits - 1 {
+            c.cx(q, q + 1);
+        }
+    }
+    c
+}
+
+/// A dense 2-qubit unitary (H⊗H followed by SWAP), handy for driving the
+/// simulator's generic k-qubit kernel in benchmarks.
+pub fn dense_two_qubit_gate() -> Gate {
+    let h = Gate::H.matrix();
+    Gate::Unitary(h.kron(&h).matmul(&Gate::Swap.matrix()))
 }
 
 /// Format a plain-text table with aligned columns.

@@ -5,17 +5,22 @@
 //! written the way a production dense-LA library would write them: row-major
 //! contiguous storage, cache-friendly loop ordering for the matrix product,
 //! and rayon parallelism over rows once the work is large enough to amortise
-//! the fork/join overhead.
+//! the fork/join overhead.  The vendored rayon adapters fan out over real
+//! `std::thread::scope` workers (see `vendor/rayon`), so `matmul` and `matvec`
+//! genuinely use the machine's cores above [`PAR_THRESHOLD`].
 
 use crate::scalar::Real;
 use crate::vector::Vector;
 use rayon::prelude::*;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 
-/// Minimum number of scalar multiply-adds before a kernel switches to rayon.
+/// Minimum number of scalar multiply-adds before a kernel fans out across
+/// threads.
 ///
-/// Below this threshold the sequential loop is faster than spawning tasks; the
-/// value is deliberately conservative (≈ a few microseconds of work).
+/// Below this threshold the sequential loop is faster than spawning scoped
+/// threads; the value is deliberately conservative (≈ a few microseconds of
+/// work, comfortably above the per-call spawn cost of the vendored rayon's
+/// thread fan-out).
 const PAR_THRESHOLD: usize = 64 * 64 * 64;
 
 /// A dense row-major matrix over a [`Real`] scalar type.

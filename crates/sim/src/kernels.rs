@@ -1,0 +1,819 @@
+//! Compiled in-place gate-application kernels — the simulator hot path.
+//!
+//! Every end-to-end experiment in this workspace (HHL, QSVT solve,
+//! block-encoding verification, the figure/table binaries) bottoms out in
+//! applying gates to a `2^n`-amplitude state vector, so this module replaces
+//! the generic "rebuild the whole vector per gate" path with specialized
+//! kernels that update amplitudes **in place** and visit only the amplitudes
+//! a gate can actually change.
+//!
+//! ## Compilation
+//!
+//! An [`Operation`] is compiled once into a [`CompiledOp`]: the gate matrix is
+//! materialized and flattened a single time, the control mask and target
+//! strides are precomputed, and the operation is classified into the cheapest
+//! kernel that implements it.  [`CompiledCircuit`] does this for a whole
+//! circuit so repeated executions (e.g. the `2^n` columns of
+//! [`crate::unitary::circuit_unitary`]) pay compilation once.
+//!
+//! ## Kernel dispatch table
+//!
+//! | kernel | gates | work per application |
+//! |--------|-------|----------------------|
+//! | `Identity`    | `I` | none |
+//! | `PhaseShift`  | `Z` `S` `S†` `T` `T†` `P(φ)` | `2^(n-c-1)` complex multiplies |
+//! | `Diagonal`    | `Rz` `GlobalPhase` | `2^(n-c)` complex multiplies |
+//! | `Flip`        | `X` (incl. `CX`/`CCX`/MCX) | `2^(n-c-1)` swaps |
+//! | `SwapBits`    | `SWAP` | `2^(n-c-2)` swaps |
+//! | `SingleQubit` | `H` `Y` `Rx` `Ry`, any dense 1-qubit unitary | `2^(n-c-1)` 2×2 updates (4 multiplies each) |
+//! | `Generic`     | k-qubit `Gate::Unitary` | `2^(n-c-k)` dense `2^k`×`2^k` mat-vecs |
+//!
+//! `n` = register qubits, `c` = number of controls, `k` = targets.  Controlled
+//! variants enumerate only the control-satisfied subspace (the free indices
+//! are expanded around the fixed control/target bit positions), so an
+//! `m`-controlled gate costs `2^m` times *less* than its uncontrolled form
+//! instead of paying a full-vector scan.
+//!
+//! ## Parallelism
+//!
+//! Kernels fan out over the free-index space with the (vendored, real
+//! `std::thread`-backed) rayon adapters once a single application carries at
+//! least [`PARALLEL_WORK_THRESHOLD`] complex multiplies of work (free-index
+//! count × the kernel's per-iteration cost); below that the sequential
+//! loop wins.  Distinct iteration indices always touch disjoint amplitude
+//! pairs/blocks, which is what makes the in-place parallel update sound (see
+//! `AmpPtr`).  The fan-out width follows `rayon::current_num_threads()`, so
+//! `rayon::ThreadPoolBuilder::install` scopes it per call tree.
+//!
+//! The seed's original generic path is retained in [`reference`] as the
+//! correctness oracle for the kernel property tests and as the baseline the
+//! `bench_json` perf-trajectory binary measures speedups against.
+
+use crate::circuit::{Circuit, Operation};
+use crate::gate::Gate;
+use crate::state::StateVector;
+use num_complex::Complex64;
+use rayon::prelude::*;
+
+/// Minimum amount of work — measured in complex multiplies — in one gate
+/// application before the update fans out across threads.  Each kernel
+/// weights its free-index count by its per-iteration cost (1 for
+/// diagonal/phase/permutation kernels, 4 for the single-qubit pair kernel,
+/// `4^k` for the generic kernel), so light kernels need proportionally more
+/// indices to justify a fan-out.  The value is deliberately conservative
+/// because the vendored rayon spawns scoped threads per call (no pool):
+/// 2^16 complex multiplies is a few hundred microseconds of work, comfortably
+/// above the spawn/join overhead — the same reasoning as `PAR_THRESHOLD` in
+/// `qls-linalg`.  A single-qubit gate crosses it on a 15-qubit register.
+pub const PARALLEL_WORK_THRESHOLD: usize = 1 << 16;
+
+const ZERO: Complex64 = Complex64::new(0.0, 0.0);
+
+/// Insert zero bits at the (ascending) `fixed_bits` positions of `idx`,
+/// spreading the remaining bits around them: maps a free-index in
+/// `0..2^(n-f)` to the full-register index whose fixed bits are all 0.
+#[inline]
+fn expand(mut idx: usize, fixed_bits: &[usize]) -> usize {
+    for &b in fixed_bits {
+        let low = idx & ((1usize << b) - 1);
+        idx = ((idx >> b) << (b + 1)) | low;
+    }
+    idx
+}
+
+/// Shared raw pointer into the amplitude buffer, used by the in-place
+/// parallel kernels.
+///
+/// SAFETY: every kernel enumerates a free-index space in which **distinct
+/// indices expand to disjoint sets of amplitude indices** (the fixed bits
+/// partition the register), so concurrent workers never alias. The pointer
+/// never outlives the `&mut [Complex64]` it was created from, and the scoped
+/// threads it is shared with join before the borrow ends.
+#[derive(Clone, Copy)]
+struct AmpPtr(*mut Complex64);
+
+unsafe impl Send for AmpPtr {}
+unsafe impl Sync for AmpPtr {}
+
+impl AmpPtr {
+    /// Read the amplitude at `i`.  Caller must guarantee `i` is in bounds and
+    /// not concurrently written (see the type-level safety argument).
+    #[inline]
+    unsafe fn get(&self, i: usize) -> Complex64 {
+        *self.0.add(i)
+    }
+
+    /// Write the amplitude at `i` (same contract as [`AmpPtr::get`]).
+    #[inline]
+    unsafe fn set(&self, i: usize, v: Complex64) {
+        *self.0.add(i) = v;
+    }
+}
+
+/// Run `body` for every free index, fanning out across threads when the
+/// caller determined the work justifies it (see [`PARALLEL_WORK_THRESHOLD`]).
+#[inline]
+fn for_each_free(count: usize, parallel: bool, body: impl Fn(usize) + Sync) {
+    if parallel {
+        (0..count).into_par_iter().for_each(body);
+    } else {
+        for p in 0..count {
+            body(p);
+        }
+    }
+}
+
+/// The specialized update a compiled operation dispatches to.
+#[derive(Debug, Clone, PartialEq)]
+enum Kernel {
+    /// No amplitude changes (identity gate, any number of controls).
+    Identity,
+    /// Dense 2×2 unitary on one target bit (row-major `m`).
+    SingleQubit { bit: usize, m: [Complex64; 4] },
+    /// `diag(p0, p1)` on one target bit with `p0 ≠ 1` (Rz, global phase).
+    Diagonal { bit: usize, phases: [Complex64; 2] },
+    /// `diag(1, phase)` on one target bit — only bit-set amplitudes move.
+    PhaseShift { bit: usize, phase: Complex64 },
+    /// Pauli-X: swap the two amplitudes of each target pair.
+    Flip { bit: usize },
+    /// SWAP gate: exchange the two target bits.
+    SwapBits { bit_a: usize, bit_b: usize },
+    /// Dense `2^k × 2^k` unitary on `k` target bits.
+    Generic {
+        /// Row-major flattened gate matrix.
+        flat: Vec<Complex64>,
+        /// `offsets[j]` = OR of the target-bit masks selected by sub-index `j`
+        /// (target order gives bit significance, matching `Gate::matrix()`).
+        offsets: Vec<usize>,
+        /// Subspace dimension `2^k`.
+        dim: usize,
+    },
+}
+
+impl Kernel {
+    /// Approximate complex multiplies per free-index iteration, used to
+    /// weight the parallel-fan-out decision against
+    /// [`PARALLEL_WORK_THRESHOLD`].
+    fn unit_cost(&self) -> usize {
+        match self {
+            Kernel::Identity => 0,
+            Kernel::Diagonal { .. }
+            | Kernel::PhaseShift { .. }
+            | Kernel::Flip { .. }
+            | Kernel::SwapBits { .. } => 1,
+            Kernel::SingleQubit { .. } => 4,
+            Kernel::Generic { dim, .. } => dim * dim,
+        }
+    }
+}
+
+/// An [`Operation`] compiled for a fixed register size: control mask, fixed
+/// bit positions and kernel selected once, so application is pure arithmetic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledOp {
+    /// Register width the op was compiled for; [`CompiledOp::apply`] rejects
+    /// amplitude buffers smaller than `2^num_qubits` (the kernels write
+    /// through raw pointers, so the length invariant is enforced eagerly).
+    num_qubits: usize,
+    /// OR of the control bits; an index participates iff it contains the mask.
+    control_mask: usize,
+    /// Bit positions that are *fixed* during enumeration (controls plus the
+    /// bits the kernel pins), ascending — the free indices are expanded
+    /// around these.
+    fixed_bits: Vec<usize>,
+    kernel: Kernel,
+}
+
+impl CompiledOp {
+    /// Compile one operation for an `num_qubits`-wide register.
+    pub fn compile(op: &Operation, num_qubits: usize) -> Self {
+        assert!(
+            op.max_qubit() < num_qubits,
+            "operation touches qubit {} outside the register",
+            op.max_qubit()
+        );
+        let control_mask: usize = op.controls.iter().map(|&q| 1usize << q).sum();
+        let sorted_with = |extra: &[usize]| -> Vec<usize> {
+            let mut bits: Vec<usize> = op.controls.iter().chain(extra).copied().collect();
+            bits.sort_unstable();
+            bits
+        };
+
+        let single =
+            |bit: usize, m: [Complex64; 4]| (sorted_with(&[bit]), Kernel::SingleQubit { bit, m });
+        let (fixed_bits, kernel) = match &op.gate {
+            Gate::I => (Vec::new(), Kernel::Identity),
+            Gate::X => {
+                let bit = op.targets[0];
+                (sorted_with(&[bit]), Kernel::Flip { bit })
+            }
+            // Exact phase constants, matching `Gate::matrix()` bit-for-bit
+            // (from_polar(1.0, PI) would give -1 + 1.2e-16i and make Z·Z
+            // deviate from the identity).
+            Gate::Z => phase_shift(op, Complex64::new(-1.0, 0.0), &sorted_with),
+            Gate::S => phase_shift(op, Complex64::new(0.0, 1.0), &sorted_with),
+            Gate::Sdg => phase_shift(op, Complex64::new(0.0, -1.0), &sorted_with),
+            Gate::T => phase_shift(
+                op,
+                Complex64::new(
+                    std::f64::consts::FRAC_1_SQRT_2,
+                    std::f64::consts::FRAC_1_SQRT_2,
+                ),
+                &sorted_with,
+            ),
+            Gate::Tdg => phase_shift(
+                op,
+                Complex64::new(
+                    std::f64::consts::FRAC_1_SQRT_2,
+                    -std::f64::consts::FRAC_1_SQRT_2,
+                ),
+                &sorted_with,
+            ),
+            Gate::Phase(phi) => phase_shift(op, Complex64::from_polar(1.0, *phi), &sorted_with),
+            Gate::Rz(theta) => {
+                let bit = op.targets[0];
+                let phases = [
+                    Complex64::from_polar(1.0, -theta / 2.0),
+                    Complex64::from_polar(1.0, theta / 2.0),
+                ];
+                (sorted_with(&[]), Kernel::Diagonal { bit, phases })
+            }
+            Gate::GlobalPhase(phi) => {
+                let bit = op.targets[0];
+                let p = Complex64::from_polar(1.0, *phi);
+                (
+                    sorted_with(&[]),
+                    Kernel::Diagonal {
+                        bit,
+                        phases: [p, p],
+                    },
+                )
+            }
+            Gate::Swap => {
+                let (a, b) = (op.targets[0], op.targets[1]);
+                (
+                    sorted_with(&[a, b]),
+                    Kernel::SwapBits { bit_a: a, bit_b: b },
+                )
+            }
+            Gate::H | Gate::Y | Gate::Rx(_) | Gate::Ry(_) => {
+                let m = op.gate.matrix();
+                single(op.targets[0], [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]])
+            }
+            Gate::Unitary(m) if op.targets.len() == 1 => {
+                single(op.targets[0], [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]])
+            }
+            Gate::Unitary(m) => {
+                let k = op.targets.len();
+                let dim = 1usize << k;
+                debug_assert_eq!(m.nrows(), dim);
+                let flat: Vec<Complex64> = (0..dim)
+                    .flat_map(|r| (0..dim).map(move |c| m[(r, c)]))
+                    .collect();
+                let offsets: Vec<usize> = (0..dim)
+                    .map(|j| {
+                        op.targets
+                            .iter()
+                            .enumerate()
+                            .filter(|(t, _)| j & (1 << t) != 0)
+                            .map(|(_, &q)| 1usize << q)
+                            .sum()
+                    })
+                    .collect();
+                (
+                    sorted_with(&op.targets),
+                    Kernel::Generic { flat, offsets, dim },
+                )
+            }
+        };
+        CompiledOp {
+            num_qubits,
+            control_mask,
+            fixed_bits,
+            kernel,
+        }
+    }
+
+    /// Number of free indices this op enumerates on an `amps.len()`-sized
+    /// register (the per-application loop count).
+    fn free_count(&self, len: usize) -> usize {
+        len >> self.fixed_bits.len()
+    }
+
+    /// Apply the compiled operation to `amps` in place.  `scratch` is the
+    /// reusable gather buffer for the generic kernel (untouched otherwise).
+    ///
+    /// `amps` must be a power-of-two length of at least `2^num_qubits` (a
+    /// longer buffer is a larger register whose extra qubits the op treats as
+    /// free); anything shorter is rejected *before* the raw-pointer kernels
+    /// run, in release builds too.
+    pub fn apply(&self, amps: &mut [Complex64], scratch: &mut Vec<Complex64>) {
+        assert!(
+            amps.len().is_power_of_two() && amps.len() >= (1usize << self.num_qubits),
+            "operation compiled for {} qubits applied to {} amplitudes",
+            self.num_qubits,
+            amps.len()
+        );
+        let count = self.free_count(amps.len());
+        let cm = self.control_mask;
+        let fixed = self.fixed_bits.as_slice();
+        let parallel = count.saturating_mul(self.kernel.unit_cost()) >= PARALLEL_WORK_THRESHOLD
+            && rayon::current_num_threads() > 1;
+        // Uncontrolled single-target kernels on the sequential path walk the
+        // `2^(bit+1)`-sized blocks with plain slice loops: no per-index bit
+        // expansion, contiguous access in both block halves, and the compiler
+        // can vectorise.  The expand-based path below covers everything else
+        // (controls, and the threaded fan-out).
+        let sequential = !parallel;
+        let ptr = AmpPtr(amps.as_mut_ptr());
+        match &self.kernel {
+            Kernel::Identity => {}
+            Kernel::SingleQubit { bit, m } => {
+                let (bitmask, m) = (1usize << bit, *m);
+                if cm == 0 && sequential {
+                    for block in amps.chunks_exact_mut(2 * bitmask) {
+                        let (lo, hi) = block.split_at_mut(bitmask);
+                        for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+                            let (x0, x1) = (*a0, *a1);
+                            *a0 = m[0] * x0 + m[1] * x1;
+                            *a1 = m[2] * x0 + m[3] * x1;
+                        }
+                    }
+                    return;
+                }
+                for_each_free(count, parallel, |p| {
+                    // SAFETY: distinct `p` expand to distinct pairs (i0, i1)
+                    // because the target bit is fixed during expansion.
+                    unsafe {
+                        let i0 = expand(p, fixed) | cm;
+                        let i1 = i0 | bitmask;
+                        let a0 = ptr.get(i0);
+                        let a1 = ptr.get(i1);
+                        ptr.set(i0, m[0] * a0 + m[1] * a1);
+                        ptr.set(i1, m[2] * a0 + m[3] * a1);
+                    }
+                });
+            }
+            Kernel::Diagonal { bit, phases } => {
+                let (bit, phases) = (*bit, *phases);
+                if cm == 0 && sequential {
+                    let stride = 1usize << bit;
+                    for block in amps.chunks_exact_mut(2 * stride) {
+                        let (lo, hi) = block.split_at_mut(stride);
+                        for a in lo {
+                            *a *= phases[0];
+                        }
+                        for a in hi {
+                            *a *= phases[1];
+                        }
+                    }
+                    return;
+                }
+                for_each_free(count, parallel, |p| {
+                    // SAFETY: the target bit is free here, so each `p` maps to
+                    // exactly one amplitude index.
+                    unsafe {
+                        let i = expand(p, fixed) | cm;
+                        ptr.set(i, ptr.get(i) * phases[(i >> bit) & 1]);
+                    }
+                });
+            }
+            Kernel::PhaseShift { bit, phase } => {
+                let (bitmask, phase) = (1usize << bit, *phase);
+                if cm == 0 && sequential {
+                    for block in amps.chunks_exact_mut(2 * bitmask) {
+                        for a in &mut block[bitmask..] {
+                            *a *= phase;
+                        }
+                    }
+                    return;
+                }
+                for_each_free(count, parallel, |p| {
+                    // SAFETY: one amplitude per `p` (target bit fixed to 1).
+                    unsafe {
+                        let i = expand(p, fixed) | cm | bitmask;
+                        ptr.set(i, ptr.get(i) * phase);
+                    }
+                });
+            }
+            Kernel::Flip { bit } => {
+                let bitmask = 1usize << bit;
+                if cm == 0 && sequential {
+                    for block in amps.chunks_exact_mut(2 * bitmask) {
+                        let (lo, hi) = block.split_at_mut(bitmask);
+                        lo.swap_with_slice(hi);
+                    }
+                    return;
+                }
+                for_each_free(count, parallel, |p| {
+                    // SAFETY: disjoint pairs, as in `SingleQubit`.
+                    unsafe {
+                        let i0 = expand(p, fixed) | cm;
+                        let i1 = i0 | bitmask;
+                        let a0 = ptr.get(i0);
+                        ptr.set(i0, ptr.get(i1));
+                        ptr.set(i1, a0);
+                    }
+                });
+            }
+            Kernel::SwapBits { bit_a, bit_b } => {
+                let (ma, mb) = (1usize << bit_a, 1usize << bit_b);
+                for_each_free(count, parallel, |p| {
+                    // SAFETY: both target bits are fixed during expansion, so
+                    // each `p` owns the disjoint pair (base|a, base|b).
+                    unsafe {
+                        let base = expand(p, fixed) | cm;
+                        let (ia, ib) = (base | ma, base | mb);
+                        let a = ptr.get(ia);
+                        ptr.set(ia, ptr.get(ib));
+                        ptr.set(ib, a);
+                    }
+                });
+            }
+            Kernel::Generic { flat, offsets, dim } => {
+                let dim = *dim;
+                let block = |scratch: &mut Vec<Complex64>, p: usize| {
+                    scratch.resize(dim, ZERO);
+                    // SAFETY: all indices of one block share the same `base`
+                    // and differ only in the fixed target bits, so blocks of
+                    // distinct `p` are disjoint.
+                    unsafe {
+                        let base = expand(p, fixed) | cm;
+                        for (s, &off) in scratch.iter_mut().zip(offsets) {
+                            *s = ptr.get(base | off);
+                        }
+                        for (r, &off) in offsets.iter().enumerate() {
+                            let row = &flat[r * dim..(r + 1) * dim];
+                            let mut acc = ZERO;
+                            for (mrc, s) in row.iter().zip(scratch.iter()) {
+                                acc += mrc * s;
+                            }
+                            ptr.set(base | off, acc);
+                        }
+                    }
+                };
+                if parallel {
+                    (0..count)
+                        .into_par_iter()
+                        .for_each_init(|| vec![ZERO; dim], |s, p| block(s, p));
+                } else {
+                    for p in 0..count {
+                        block(scratch, p);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn phase_shift(
+    op: &Operation,
+    phase: Complex64,
+    sorted_with: &impl Fn(&[usize]) -> Vec<usize>,
+) -> (Vec<usize>, Kernel) {
+    let bit = op.targets[0];
+    (sorted_with(&[bit]), Kernel::PhaseShift { bit, phase })
+}
+
+/// A circuit compiled once for repeated application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledCircuit {
+    num_qubits: usize,
+    ops: Vec<CompiledOp>,
+}
+
+impl CompiledCircuit {
+    /// Compile every operation of `circuit` for its own register width.
+    pub fn compile(circuit: &Circuit) -> Self {
+        Self::compile_for(circuit, circuit.num_qubits())
+    }
+
+    /// Compile for a register of `num_qubits` (≥ the circuit's width), so the
+    /// compiled form can run on a larger register directly.
+    pub fn compile_for(circuit: &Circuit, num_qubits: usize) -> Self {
+        assert!(
+            circuit.num_qubits() <= num_qubits,
+            "circuit needs {} qubits, register has {}",
+            circuit.num_qubits(),
+            num_qubits
+        );
+        CompiledCircuit {
+            num_qubits,
+            ops: circuit
+                .operations()
+                .iter()
+                .map(|op| CompiledOp::compile(op, num_qubits))
+                .collect(),
+        }
+    }
+
+    /// Register width this circuit was compiled for.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of compiled operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when there are no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Apply all compiled operations to `state` in order, in place.
+    pub fn apply(&self, state: &mut StateVector) {
+        assert!(
+            self.num_qubits <= state.num_qubits(),
+            "compiled circuit needs {} qubits, register has {}",
+            self.num_qubits,
+            state.num_qubits()
+        );
+        let (amps, scratch) = state.amps_and_scratch();
+        for op in &self.ops {
+            op.apply(amps, scratch);
+        }
+    }
+}
+
+pub mod reference {
+    //! The seed's generic gate-application path, retained verbatim (modulo
+    //! being made sequential-only) as the correctness oracle for the kernel
+    //! property tests and as the baseline `bench_json` measures the
+    //! specialized kernels against.  It re-materializes `Gate::matrix()` on
+    //! every application, visits all `2^n` output amplitudes per gate and
+    //! allocates a fresh output vector — exactly the costs the compiled
+    //! kernels remove.
+
+    use crate::circuit::{Circuit, Operation};
+    use crate::state::StateVector;
+    use num_complex::Complex64;
+
+    /// Apply one operation by rebuilding the full amplitude vector.
+    pub fn apply_op(state: &mut StateVector, op: &Operation) {
+        assert!(
+            op.max_qubit() < state.num_qubits(),
+            "operation touches qubit {} outside the register",
+            op.max_qubit()
+        );
+        let matrix = op.gate.matrix();
+        let k = op.targets.len();
+        let dim = 1usize << k;
+        debug_assert_eq!(matrix.nrows(), dim);
+
+        let control_mask: usize = op.controls.iter().map(|&q| 1usize << q).sum();
+        let target_bits: Vec<usize> = op.targets.iter().map(|&q| 1usize << q).collect();
+
+        // Flatten the gate matrix for cheap indexed access.
+        let flat: Vec<Complex64> = (0..dim)
+            .flat_map(|r| (0..dim).map(move |cidx| (r, cidx)))
+            .map(|(r, cidx)| matrix[(r, cidx)])
+            .collect();
+
+        let old = state.amplitudes();
+        let compute = |i: usize| -> Complex64 {
+            // Controls not satisfied: amplitude unchanged.
+            if i & control_mask != control_mask {
+                return old[i];
+            }
+            // Row index within the gate's subspace = the target bits of i.
+            let mut row = 0usize;
+            for (t, &bit) in target_bits.iter().enumerate() {
+                if i & bit != 0 {
+                    row |= 1 << t;
+                }
+            }
+            // Base index with all target bits cleared.
+            let mut base = i;
+            for &bit in &target_bits {
+                base &= !bit;
+            }
+            let mut acc = Complex64::new(0.0, 0.0);
+            for col in 0..dim {
+                let m = flat[row * dim + col];
+                if m == Complex64::new(0.0, 0.0) {
+                    continue;
+                }
+                // Source index: base with target bits set according to col.
+                let mut src = base;
+                for (t, &bit) in target_bits.iter().enumerate() {
+                    if col & (1 << t) != 0 {
+                        src |= bit;
+                    }
+                }
+                acc += m * old[src];
+            }
+            acc
+        };
+
+        let new_amps: Vec<Complex64> = (0..old.len()).map(compute).collect();
+        state.set_amplitudes(new_amps);
+    }
+
+    /// Apply a whole circuit through the generic per-gate path.
+    pub fn apply_circuit(state: &mut StateVector, circuit: &Circuit) {
+        assert!(
+            circuit.num_qubits() <= state.num_qubits(),
+            "circuit needs {} qubits, register has {}",
+            circuit.num_qubits(),
+            state.num_qubits()
+        );
+        for op in circuit.operations() {
+            apply_op(state, op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmatrix::CMatrix;
+
+    fn apply_both(circ: &Circuit) -> (StateVector, StateVector) {
+        let mut fast = StateVector::zero_state(circ.num_qubits());
+        fast.apply_circuit(circ);
+        let mut slow = StateVector::zero_state(circ.num_qubits());
+        reference::apply_circuit(&mut slow, circ);
+        (fast, slow)
+    }
+
+    fn assert_states_close(a: &StateVector, b: &StateVector) {
+        let diff: f64 = a
+            .amplitudes()
+            .iter()
+            .zip(b.amplitudes())
+            .map(|(x, y)| (x - y).norm())
+            .fold(0.0, f64::max);
+        assert!(diff < 1e-12, "kernel vs reference max diff {diff}");
+    }
+
+    #[test]
+    fn expand_inserts_zero_bits() {
+        // fixed bits {1, 3}: free index bits map to positions 0, 2, 4, 5, ...
+        assert_eq!(expand(0b000, &[1, 3]), 0b00000);
+        assert_eq!(expand(0b001, &[1, 3]), 0b00001);
+        assert_eq!(expand(0b010, &[1, 3]), 0b00100);
+        assert_eq!(expand(0b011, &[1, 3]), 0b00101);
+        assert_eq!(expand(0b100, &[1, 3]), 0b10000);
+        assert_eq!(expand(0b111, &[1, 3]), 0b10101);
+    }
+
+    #[test]
+    fn every_named_gate_matches_reference() {
+        let gates: Vec<(Gate, Vec<usize>)> = vec![
+            (Gate::I, vec![1]),
+            (Gate::X, vec![0]),
+            (Gate::Y, vec![2]),
+            (Gate::Z, vec![1]),
+            (Gate::H, vec![0]),
+            (Gate::S, vec![2]),
+            (Gate::Sdg, vec![0]),
+            (Gate::T, vec![1]),
+            (Gate::Tdg, vec![2]),
+            (Gate::Rx(0.37), vec![0]),
+            (Gate::Ry(-1.2), vec![1]),
+            (Gate::Rz(2.6), vec![2]),
+            (Gate::Phase(0.9), vec![0]),
+            (Gate::GlobalPhase(1.4), vec![1]),
+            (Gate::Swap, vec![0, 2]),
+        ];
+        for (gate, targets) in gates {
+            let mut circ = Circuit::new(3);
+            // A little entanglement first so amplitudes are non-trivial.
+            circ.h(0).cx(0, 1).ry(2, 0.4);
+            circ.gate(gate.clone(), &targets);
+            let (fast, slow) = apply_both(&circ);
+            assert_states_close(&fast, &slow);
+        }
+    }
+
+    #[test]
+    fn controlled_gates_match_reference() {
+        let cases: Vec<(Gate, Vec<usize>, Vec<usize>)> = vec![
+            (Gate::X, vec![0], vec![2]),
+            (Gate::X, vec![1], vec![0, 3]),
+            (Gate::Z, vec![3], vec![1]),
+            (Gate::Ry(0.7), vec![2], vec![0]),
+            (Gate::Rz(-0.9), vec![0], vec![1, 2]),
+            (Gate::Phase(1.1), vec![1], vec![3]),
+            (Gate::Swap, vec![0, 3], vec![1]),
+            (Gate::GlobalPhase(0.5), vec![2], vec![0]),
+            (Gate::I, vec![1], vec![2]),
+        ];
+        for (gate, targets, controls) in cases {
+            let mut circ = Circuit::new(4);
+            circ.h(0).h(1).h(2).h(3).cx(0, 2).t(3);
+            circ.controlled_gate(gate, &targets, &controls);
+            let (fast, slow) = apply_both(&circ);
+            assert_states_close(&fast, &slow);
+        }
+    }
+
+    #[test]
+    fn dense_multi_qubit_unitary_matches_reference() {
+        // 2-qubit unitary: X⊗X composed with a phase, on non-adjacent targets.
+        let x = Gate::X.matrix();
+        let xx = x.kron(&x);
+        let u = Gate::Unitary(CMatrix::from_fn(4, 4, |i, j| {
+            xx[(i, j)] * Complex64::from_polar(1.0, 0.3)
+        }));
+        let mut circ = Circuit::new(4);
+        circ.h(0).cx(0, 1).ry(3, 0.8);
+        circ.gate(u.clone(), &[1, 3]);
+        circ.controlled_gate(u, &[2, 0], &[1]);
+        let (fast, slow) = apply_both(&circ);
+        assert_states_close(&fast, &slow);
+    }
+
+    #[test]
+    fn compiled_circuit_reuse_matches_fresh_application() {
+        let mut circ = Circuit::new(3);
+        circ.h(0).cry(0, 1, 0.9).ccx(0, 1, 2).rz(2, -0.4).swap(0, 2);
+        let compiled = CompiledCircuit::compile(&circ);
+        assert_eq!(compiled.len(), circ.len());
+        for col in 0..8 {
+            let mut via_compiled = StateVector::basis_state(3, col);
+            compiled.apply(&mut via_compiled);
+            let mut via_state = StateVector::basis_state(3, col);
+            via_state.apply_circuit(&circ);
+            assert_states_close(&via_compiled, &via_state);
+        }
+    }
+
+    #[test]
+    fn compile_for_larger_register() {
+        let mut circ = Circuit::new(2);
+        circ.h(0).cx(0, 1);
+        let compiled = CompiledCircuit::compile_for(&circ, 4);
+        let mut sv = StateVector::zero_state(4);
+        compiled.apply(&mut sv);
+        assert!((sv.probability(0) - 0.5).abs() < 1e-14);
+        assert!((sv.probability(3) - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "compiled for 16 qubits")]
+    fn apply_rejects_short_amplitude_buffers() {
+        // The kernels write through raw pointers, so a buffer shorter than the
+        // compiled register must be rejected before any pointer arithmetic.
+        let op = CompiledOp::compile(&Operation::new(Gate::X, vec![0], vec![15]), 16);
+        let mut amps = vec![ZERO; 4];
+        let mut scratch = Vec::new();
+        op.apply(&mut amps, &mut scratch);
+    }
+
+    #[test]
+    fn clifford_phase_gates_are_exact() {
+        // Z, S and their adjoints use the exact matrix constants (not
+        // from_polar), so Z·Z and S·S† restore amplitudes bit-for-bit.
+        let mut circ = Circuit::new(2);
+        circ.h(0).cx(0, 1).ry(1, 0.3);
+        let start = StateVector::run(&circ);
+
+        let mut zz = start.clone();
+        let mut pair = Circuit::new(2);
+        pair.z(0).z(0).s(1);
+        pair.gate(Gate::Sdg, &[1]);
+        zz.apply_circuit(&pair);
+        assert_eq!(zz.amplitudes(), start.amplitudes());
+    }
+
+    #[test]
+    fn kernel_classification() {
+        let n = 4;
+        let compile = |gate: Gate, targets: &[usize]| {
+            CompiledOp::compile(&Operation::new(gate, targets.to_vec(), vec![]), n)
+        };
+        assert_eq!(compile(Gate::I, &[0]).kernel, Kernel::Identity);
+        assert!(matches!(
+            compile(Gate::X, &[1]).kernel,
+            Kernel::Flip { bit: 1 }
+        ));
+        assert!(matches!(
+            compile(Gate::Z, &[2]).kernel,
+            Kernel::PhaseShift { bit: 2, .. }
+        ));
+        assert!(matches!(
+            compile(Gate::Rz(0.1), &[0]).kernel,
+            Kernel::Diagonal { bit: 0, .. }
+        ));
+        assert!(matches!(
+            compile(Gate::H, &[3]).kernel,
+            Kernel::SingleQubit { bit: 3, .. }
+        ));
+        assert!(matches!(
+            compile(Gate::Swap, &[1, 3]).kernel,
+            Kernel::SwapBits { bit_a: 1, bit_b: 3 }
+        ));
+        assert!(matches!(
+            compile(Gate::Unitary(CMatrix::identity(4)), &[0, 2]).kernel,
+            Kernel::Generic { dim: 4, .. }
+        ));
+        // 1-qubit dense unitaries use the pair kernel, not the generic one.
+        assert!(matches!(
+            compile(Gate::Unitary(CMatrix::identity(2)), &[1]).kernel,
+            Kernel::SingleQubit { bit: 1, .. }
+        ));
+    }
+}

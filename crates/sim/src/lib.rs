@@ -4,13 +4,39 @@
 //!
 //! The paper's experiments run on the myQLM state-vector simulator (Python);
 //! this crate is its Rust replacement for the reproduction: gates and circuits
-//! ([`gate`], [`circuit`]), exact state-vector execution with rayon-parallel
-//! amplitude updates ([`state`]), dense-unitary extraction for verification of
-//! block-encodings ([`unitary`]), shot sampling and post-selection
-//! ([`measure`]), dense complex matrices ([`cmatrix`]), and fault-tolerant
-//! resource estimates (T-count, depth, gate histograms — [`resources`]),
-//! which the paper uses to express the quantum cost of its Poisson use case
-//! (Table II).
+//! ([`gate`], [`circuit`]), exact state-vector execution through compiled
+//! in-place kernels ([`state`], [`kernels`]), dense-unitary extraction for
+//! verification of block-encodings ([`unitary`]), shot sampling and
+//! post-selection ([`measure`]), dense complex matrices ([`cmatrix`]), and
+//! fault-tolerant resource estimates (T-count, depth, gate histograms —
+//! [`resources`]), which the paper uses to express the quantum cost of its
+//! Poisson use case (Table II).
+//!
+//! ## Performance model
+//!
+//! Gate application is the workspace-wide hot path, and it is organised
+//! around two ideas (full dispatch table in [`kernels`]):
+//!
+//! 1. **Compile once, apply cheaply.**  [`CompiledCircuit::compile`] turns
+//!    each operation into a [`CompiledOp`] — flattened matrix, control mask
+//!    and target strides precomputed — classified into the cheapest kernel:
+//!    diagonal/phase gates multiply amplitudes in place, X/SWAP permute them,
+//!    dense single-qubit gates update `2^(n-1)` amplitude pairs, and only
+//!    k-qubit `Gate::Unitary` falls back to a generic blocked mat-vec fed
+//!    from a reusable scratch buffer.  Controlled variants enumerate just the
+//!    control-satisfied subspace (`2^(n-c)` instead of `2^n` indices).
+//! 2. **Real thread fan-out.**  Once one application carries at least
+//!    [`PARALLEL_WORK_THRESHOLD`] complex multiplies of work (iteration
+//!    count weighted by the kernel's per-iteration cost), the update is split
+//!    into contiguous index blocks across `rayon::current_num_threads()`
+//!    scoped threads (the vendored rayon is backed by `std::thread::scope`).
+//!    Partitioning never reorders per-amplitude arithmetic, so results are
+//!    bit-identical at every worker count
+//!    (`rayon::ThreadPoolBuilder::install` pins the count in tests).
+//!
+//! The seed's original "rebuild the whole vector per gate" path survives as
+//! `kernels::reference`, serving as the property-test oracle and the baseline
+//! of the `BENCH_simulator.json` perf trajectory (`bench_json` binary).
 //!
 //! ## Qubit convention
 //!
@@ -35,6 +61,7 @@
 pub mod circuit;
 pub mod cmatrix;
 pub mod gate;
+pub mod kernels;
 pub mod measure;
 pub mod resources;
 pub mod state;
@@ -43,6 +70,7 @@ pub mod unitary;
 pub use circuit::{Circuit, Operation};
 pub use cmatrix::CMatrix;
 pub use gate::Gate;
+pub use kernels::{CompiledCircuit, CompiledOp, PARALLEL_WORK_THRESHOLD};
 pub use measure::{
     estimate_magnitudes, sample, shots_for_accuracy, signed_from_magnitudes, SampleResult,
 };

@@ -3,32 +3,37 @@
 //! This is the quantum-hardware substitute: the paper's experiments run on the
 //! myQLM state-vector simulator, and this module plays the same role.  The
 //! state of an `n`-qubit register is the full vector of `2^n` complex
-//! amplitudes; gates are applied by updating amplitudes directly.  For larger
-//! registers the update is parallelised with rayon over the output amplitudes
-//! (each output amplitude depends only on a fixed, small set of input
-//! amplitudes, so the map is embarrassingly parallel).
+//! amplitudes.  Gates are applied **in place** through the compiled
+//! specialized kernels of [`crate::kernels`] (dispatch table and parallelism
+//! model documented there): [`StateVector::apply_circuit`] compiles each
+//! operation once and dispatches to the cheapest kernel, and above the
+//! parallel threshold the update fans out across real threads.
 
 use crate::circuit::{Circuit, Operation};
+use crate::kernels::{CompiledCircuit, CompiledOp};
 use num_complex::Complex64;
 use qls_linalg::Vector;
-use rayon::prelude::*;
-
-/// Number of qubits above which gate application switches to rayon.
-const PARALLEL_QUBIT_THRESHOLD: usize = 14;
 
 /// The state vector of an `n`-qubit register.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct StateVector {
     num_qubits: usize,
     amps: Vec<Complex64>,
+    /// Reusable gather buffer for the generic k-qubit kernel (never observable
+    /// through the public API; excluded from equality).
+    scratch: Vec<Complex64>,
+}
+
+impl PartialEq for StateVector {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_qubits == other.num_qubits && self.amps == other.amps
+    }
 }
 
 impl StateVector {
     /// The all-zeros basis state `|0…0⟩`.
     pub fn zero_state(num_qubits: usize) -> Self {
-        let mut amps = vec![Complex64::new(0.0, 0.0); 1 << num_qubits];
-        amps[0] = Complex64::new(1.0, 0.0);
-        StateVector { num_qubits, amps }
+        Self::basis_state(num_qubits, 0)
     }
 
     /// The computational basis state `|index⟩`.
@@ -36,17 +41,42 @@ impl StateVector {
         assert!(index < (1 << num_qubits), "basis index out of range");
         let mut amps = vec![Complex64::new(0.0, 0.0); 1 << num_qubits];
         amps[index] = Complex64::new(1.0, 0.0);
-        StateVector { num_qubits, amps }
+        StateVector {
+            num_qubits,
+            amps,
+            scratch: Vec::new(),
+        }
     }
 
     /// Build a state from raw amplitudes (length must be a power of two);
     /// the amplitudes are normalised.
     pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
-        assert!(amps.len().is_power_of_two(), "amplitude count must be 2^n");
-        let num_qubits = amps.len().trailing_zeros() as usize;
-        let mut sv = StateVector { num_qubits, amps };
+        let mut sv = Self::from_amplitudes_unchecked(amps);
         sv.normalize();
         sv
+    }
+
+    /// Build a state from raw amplitudes **without normalising** (length must
+    /// be a power of two).  Gate application is linear, so this is the
+    /// entry point for applying circuits to arbitrary (non-unit) vectors;
+    /// callers that need a physical state must pass a unit-norm vector.
+    pub fn from_amplitudes_unchecked(amps: Vec<Complex64>) -> Self {
+        assert!(amps.len().is_power_of_two(), "amplitude count must be 2^n");
+        let num_qubits = amps.len().trailing_zeros() as usize;
+        StateVector {
+            num_qubits,
+            amps,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Reset in place to the computational basis state `|index⟩`, reusing the
+    /// amplitude allocation (the hot loop of `circuit_unitary` resets the same
+    /// register `2^n` times).
+    pub fn reset_to_basis(&mut self, index: usize) {
+        assert!(index < self.amps.len(), "basis index out of range");
+        self.amps.fill(Complex64::new(0.0, 0.0));
+        self.amps[index] = Complex64::new(1.0, 0.0);
     }
 
     /// Build a state whose amplitudes are the entries of a real vector,
@@ -67,8 +97,27 @@ impl StateVector {
     }
 
     /// Mutable access to the amplitudes (used by tests and by post-selection).
+    /// The length is fixed at `2^num_qubits` — only the values are writable.
     pub fn amplitudes_mut(&mut self) -> &mut [Complex64] {
         &mut self.amps
+    }
+
+    /// Replace the whole amplitude vector without copying (the retained
+    /// generic reference path rebuilds it per gate).  The length must match.
+    pub(crate) fn set_amplitudes(&mut self, amps: Vec<Complex64>) {
+        assert_eq!(amps.len(), self.amps.len(), "amplitude length must match");
+        self.amps = amps;
+    }
+
+    /// Consume the state, returning the amplitude vector without copying.
+    pub fn into_amplitudes(self) -> Vec<Complex64> {
+        self.amps
+    }
+
+    /// Amplitudes plus the reusable kernel scratch buffer, for
+    /// [`crate::kernels::CompiledCircuit::apply`].
+    pub(crate) fn amps_and_scratch(&mut self) -> (&mut [Complex64], &mut Vec<Complex64>) {
+        (&mut self.amps, &mut self.scratch)
     }
 
     /// Euclidean norm of the state (1 for a normalised state).
@@ -117,14 +166,23 @@ impl StateVector {
     }
 
     /// The probability that qubit `q` is measured as `1`.
+    ///
+    /// Walks the set-bit stride directly — runs of `2^q` amplitudes starting
+    /// at every odd multiple of `2^q` — touching exactly the `2^(n-1)` entries
+    /// where the bit is set, instead of scanning and filtering all `2^n`.
     pub fn probability_of_one(&self, q: usize) -> f64 {
-        let mask = 1usize << q;
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & mask != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        assert!(q < self.num_qubits, "qubit index out of range");
+        let stride = 1usize << q;
+        let mut sum = 0.0;
+        let mut start = stride;
+        while start < self.amps.len() {
+            sum += self.amps[start..start + stride]
+                .iter()
+                .map(|a| a.norm_sqr())
+                .sum::<f64>();
+            start += stride << 1;
+        }
+        sum
     }
 
     /// Tensor product `self ⊗ other` (other occupies the *lower* qubit indices).
@@ -138,85 +196,23 @@ impl StateVector {
         StateVector {
             num_qubits: self.num_qubits + other.num_qubits,
             amps,
+            scratch: Vec::new(),
         }
     }
 
-    /// Apply one operation in place.
+    /// Apply one operation in place through the specialized kernel dispatch
+    /// (compiling the operation on the spot; batch callers should prefer
+    /// [`StateVector::apply_circuit`] or a pre-built
+    /// [`CompiledCircuit`](crate::kernels::CompiledCircuit)).
     pub fn apply_op(&mut self, op: &Operation) {
-        assert!(
-            op.max_qubit() < self.num_qubits,
-            "operation touches qubit {} outside the register",
-            op.max_qubit()
-        );
-        let matrix = op.gate.matrix();
-        let k = op.targets.len();
-        let dim = 1usize << k;
-        debug_assert_eq!(matrix.nrows(), dim);
-
-        let control_mask: usize = op.controls.iter().map(|&q| 1usize << q).sum();
-        let target_bits: Vec<usize> = op.targets.iter().map(|&q| 1usize << q).collect();
-
-        // Flatten the gate matrix for cheap indexed access.
-        let flat: Vec<Complex64> = (0..dim)
-            .flat_map(|r| (0..dim).map(move |cidx| (r, cidx)))
-            .map(|(r, cidx)| matrix[(r, cidx)])
-            .collect();
-
-        let old = &self.amps;
-        let compute = |i: usize| -> Complex64 {
-            // Controls not satisfied: amplitude unchanged.
-            if i & control_mask != control_mask {
-                return old[i];
-            }
-            // Row index within the gate's subspace = the target bits of i.
-            let mut row = 0usize;
-            for (t, &bit) in target_bits.iter().enumerate() {
-                if i & bit != 0 {
-                    row |= 1 << t;
-                }
-            }
-            // Base index with all target bits cleared.
-            let mut base = i;
-            for &bit in &target_bits {
-                base &= !bit;
-            }
-            let mut acc = Complex64::new(0.0, 0.0);
-            for col in 0..dim {
-                let m = flat[row * dim + col];
-                if m == Complex64::new(0.0, 0.0) {
-                    continue;
-                }
-                // Source index: base with target bits set according to col.
-                let mut src = base;
-                for (t, &bit) in target_bits.iter().enumerate() {
-                    if col & (1 << t) != 0 {
-                        src |= bit;
-                    }
-                }
-                acc += m * old[src];
-            }
-            acc
-        };
-
-        let new_amps: Vec<Complex64> = if self.num_qubits >= PARALLEL_QUBIT_THRESHOLD {
-            (0..self.amps.len()).into_par_iter().map(compute).collect()
-        } else {
-            (0..self.amps.len()).map(compute).collect()
-        };
-        self.amps = new_amps;
+        let compiled = CompiledOp::compile(op, self.num_qubits);
+        compiled.apply(&mut self.amps, &mut self.scratch);
     }
 
-    /// Apply a whole circuit in place.
+    /// Apply a whole circuit in place: each operation is compiled once into
+    /// its specialized in-place kernel, then applied.
     pub fn apply_circuit(&mut self, circuit: &Circuit) {
-        assert!(
-            circuit.num_qubits() <= self.num_qubits,
-            "circuit needs {} qubits, register has {}",
-            circuit.num_qubits(),
-            self.num_qubits
-        );
-        for op in circuit.operations() {
-            self.apply_op(op);
-        }
+        CompiledCircuit::compile_for(circuit, self.num_qubits).apply(self);
     }
 
     /// Run a circuit on `|0…0⟩` and return the final state.

@@ -9,18 +9,23 @@
 
 use crate::circuit::Circuit;
 use crate::cmatrix::CMatrix;
+use crate::kernels::CompiledCircuit;
 use crate::state::StateVector;
 use num_complex::Complex64;
 
 /// Compute the dense unitary implemented by a circuit by running it on every
-/// computational basis state (columns of the unitary).
+/// computational basis state (columns of the unitary).  The circuit is
+/// compiled once and a single register allocation is reset and reused across
+/// all `2^n` columns.
 pub fn circuit_unitary(circuit: &Circuit) -> CMatrix {
     let n = circuit.num_qubits();
     let dim = 1usize << n;
+    let compiled = CompiledCircuit::compile(circuit);
     let mut u = CMatrix::zeros(dim, dim);
+    let mut sv = StateVector::zero_state(n);
     for col in 0..dim {
-        let mut sv = StateVector::basis_state(n, col);
-        sv.apply_circuit(circuit);
+        sv.reset_to_basis(col);
+        compiled.apply(&mut sv);
         for (row, &amp) in sv.amplitudes().iter().enumerate() {
             u[(row, col)] = amp;
         }
@@ -31,17 +36,14 @@ pub fn circuit_unitary(circuit: &Circuit) -> CMatrix {
 /// Apply a circuit to an arbitrary input vector of dimension `2^n` (not
 /// necessarily normalised); returns the output vector.  Equivalent to
 /// multiplying by [`circuit_unitary`] but without forming the matrix.
+/// Gate application is linear, so the input is used as-is — no
+/// normalise/renormalise round trip.
 pub fn apply_circuit_to_vector(circuit: &Circuit, input: &[Complex64]) -> Vec<Complex64> {
     let n = circuit.num_qubits();
     assert_eq!(input.len(), 1usize << n, "input dimension mismatch");
-    let norm = input.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
-    if norm == 0.0 {
-        return vec![Complex64::new(0.0, 0.0); input.len()];
-    }
-    let normalised: Vec<Complex64> = input.iter().map(|a| a / norm).collect();
-    let mut sv = StateVector::from_amplitudes(normalised);
+    let mut sv = StateVector::from_amplitudes_unchecked(input.to_vec());
     sv.apply_circuit(circuit);
-    sv.amplitudes().iter().map(|a| a * norm).collect()
+    sv.into_amplitudes()
 }
 
 #[cfg(test)]

@@ -11,7 +11,9 @@
 //!   classical iterative refinement;
 //! * [`poly`] (`qls-poly`) — Chebyshev machinery and the Eq. (4) inverse
 //!   polynomial;
-//! * [`sim`] (`qls-sim`) — the state-vector quantum simulator;
+//! * [`sim`] (`qls-sim`) — the state-vector quantum simulator (compiled
+//!   in-place gate kernels with real thread fan-out; see the performance
+//!   model in `qls_sim::kernels`);
 //! * [`encoding`] (`qls-encoding`) — state preparation and block-encodings;
 //! * [`qsvt`] (`qls-qsvt`) — QSP phases, QSVT circuits, matrix inversion;
 //! * [`core`] (`qls-core`) — the hybrid solver (Algorithm 2), cost models,
@@ -56,6 +58,10 @@
 //! * `cargo run --release -p qls-bench --bin table1` — regenerate Table I;
 //!   likewise `table2`, `fig1_comms` … `fig5_complexity` for every figure
 //!   and table of the paper's evaluation.
+//! * `cargo run --release -p qls-bench --bin bench_json` — time the
+//!   simulator's representative workloads and write the machine-readable
+//!   perf-trajectory artifact `BENCH_simulator.json` (CI validates it with
+//!   `--preset small`).
 
 pub use qls_core as core;
 pub use qls_encoding as encoding;

@@ -1,111 +1,653 @@
-//! Offline vendored stand-in for [`rayon`](https://crates.io/crates/rayon).
+//! Offline vendored stand-in for [`rayon`](https://crates.io/crates/rayon)
+//! with **real thread parallelism**.
 //!
-//! The build container has no crates.io access, so the parallel-iterator
-//! entry points the workspace uses (`into_par_iter`, `par_iter`,
-//! `par_chunks`, `par_chunks_mut`) are provided here as **sequential**
-//! adapters returning ordinary `std` iterators.  All call sites keep their
-//! rayon shape, so restoring the real crate later re-enables parallelism
-//! with zero source changes (tracked in ROADMAP.md "Open items").
+//! The build container has no crates.io access, so this crate provides the
+//! parallel-iterator entry points the workspace uses (`into_par_iter` on
+//! index ranges, `par_iter` / `par_iter_mut` on slices, `par_chunks` /
+//! `par_chunks_mut`, `join`) backed by `std::thread::scope` chunked fan-out:
+//! the index space is split into one contiguous block per worker and each
+//! block runs on its own scoped thread.  Worker count is
+//! `std::thread::available_parallelism()` (overridable via the
+//! `RAYON_NUM_THREADS` environment variable, like the real crate, or
+//! scoped per call tree via [`ThreadPoolBuilder`] + [`ThreadPool::install`]).
 //!
-//! Because the adapters return `std` iterators, the full `Iterator` method
-//! set (`map`, `enumerate`, `for_each`, `collect`, …) doubles as the
-//! `ParallelIterator` surface.
+//! All call sites keep their rayon shape, so restoring the real crate later
+//! is still a `[workspace.dependencies]` edit (tracked in ROADMAP.md "Open
+//! items").  Differences from real rayon, by design of a minimal stand-in:
+//!
+//! * static contiguous splitting instead of work stealing — fine for the
+//!   uniform per-element workloads in this workspace;
+//! * threads are spawned per call instead of pooled — the fan-out is only
+//!   used above coarse work thresholds where spawn cost is noise;
+//! * `ThreadPool::install` sets a thread-local worker-count override for the
+//!   duration of the closure (it does not pin work to dedicated threads), and
+//!   the override is not inherited by nested parallel calls made *from worker
+//!   threads* — no such nesting exists in this workspace;
+//! * only the adapter/consumer combinations the workspace uses are provided
+//!   (`map().collect()`, `for_each`, `for_each_init`, `enumerate().for_each`,
+//!   `sum`).
 
-/// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// Worker-count configuration
+// ---------------------------------------------------------------------------
+
+/// Process-wide default worker count: `RAYON_NUM_THREADS` if set and positive,
+/// otherwise `available_parallelism()`.
+fn default_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`].
+    static INSTALLED_NUM_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel calls on this thread will fan out to.
+pub fn current_num_threads() -> usize {
+    INSTALLED_NUM_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(default_num_threads)
+}
+
+/// Error type kept for API compatibility with `rayon::ThreadPoolBuildError`;
+/// the stand-in's pools cannot actually fail to build.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the worker-count knob.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker count (0 means "use the default", like real rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(default_num_threads),
+        })
+    }
+}
+
+/// A "pool" carrying a fixed worker count; [`install`](ThreadPool::install)
+/// scopes that count over a closure.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool's worker count as the fan-out width for every
+    /// parallel call it makes (restored on exit, panic-safe).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_NUM_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(INSTALLED_NUM_THREADS.with(|c| c.replace(Some(self.num_threads))));
+        op()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scoped-thread fan-out core
+// ---------------------------------------------------------------------------
+
+/// Split `0..len` into at most `parts` contiguous ranges of near-equal size.
+fn split_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Run `body` over every contiguous sub-range of `0..len`, fanning out to the
+/// current worker count with `std::thread::scope`.  The final sub-range runs
+/// on the calling thread so a fan-out of `t` spawns `t - 1` threads.
+fn par_for_ranges<F: Fn(Range<usize>) + Sync>(len: usize, body: F) {
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        if len > 0 {
+            body(0..len);
+        }
+        return;
+    }
+    let mut ranges = split_ranges(len, threads);
+    let last = ranges.pop().expect("threads >= 2 implies ranges");
+    std::thread::scope(|s| {
+        for r in ranges {
+            let body = &body;
+            s.spawn(move || body(r));
+        }
+        body(last);
+    });
+}
+
+/// Map every contiguous sub-range of `0..len` to an ordered part, in
+/// parallel, and return the parts in index order.
+fn par_map_ranges<T, F>(len: usize, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        return if len == 0 {
+            Vec::new()
+        } else {
+            vec![body(0..len)]
+        };
+    }
+    let ranges = split_ranges(len, threads);
+    let mut parts: Vec<Option<T>> = (0..ranges.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let mut slots = parts.as_mut_slice();
+        let mut iter = ranges.into_iter().peekable();
+        while let Some(r) = iter.next() {
+            let (slot, rest) = slots.split_first_mut().expect("one slot per range");
+            slots = rest;
+            let body = &body;
+            if iter.peek().is_some() {
+                s.spawn(move || *slot = Some(body(r)));
+            } else {
+                *slot = Some(body(r));
+            }
+        }
+    });
+    parts
+        .into_iter()
+        .map(|p| p.expect("every range produced a part"))
+        .collect()
+}
+
+/// Parallel two-way fork, mirroring `rayon::join` (runs `b` on a scoped
+/// thread while `a` runs on the calling thread).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterators over index ranges
+// ---------------------------------------------------------------------------
+
+/// Collection buildable from ordered per-worker parts (stand-in for
+/// `rayon::iter::FromParallelIterator`).
+pub trait FromParallelIterator<T> {
+    fn from_ordered_parts(parts: Vec<Vec<T>>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_parts(parts: Vec<Vec<T>>) -> Self {
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+/// Stand-in for `rayon::iter::IntoParallelIterator`.
 pub trait IntoParallelIterator {
     type Item;
-    type Iter: Iterator<Item = Self::Item>;
+    type Iter;
 
     fn into_par_iter(self) -> Self::Iter;
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Item = I::Item;
-    type Iter = I::IntoIter;
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
 
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
     }
 }
 
-/// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    pub fn map<T, F: Fn(usize) -> T + Sync>(self, f: F) -> ParRangeMap<T, F> {
+        ParRangeMap {
+            range: self.range,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        let start = self.range.start;
+        par_for_ranges(self.range.len(), |r| {
+            for i in r {
+                f(start + i);
+            }
+        });
+    }
+
+    /// Like `for_each`, but hands every worker a private scratch value built
+    /// by `init` (mirrors `rayon`'s `for_each_init`).
+    pub fn for_each_init<S, INIT, F>(self, init: INIT, f: F)
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) + Sync,
+    {
+        let start = self.range.start;
+        par_for_ranges(self.range.len(), |r| {
+            let mut scratch = init();
+            for i in r {
+                f(&mut scratch, start + i);
+            }
+        });
+    }
+}
+
+/// `map` adapter over a parallel index range.
+pub struct ParRangeMap<T, F> {
+    range: Range<usize>,
+    f: F,
+    _out: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T, F> ParRangeMap<T, F>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        let start = self.range.start;
+        let f = &self.f;
+        let parts = par_map_ranges(self.range.len(), |r| {
+            r.map(|i| f(start + i)).collect::<Vec<T>>()
+        });
+        C::from_ordered_parts(parts)
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<T> + std::iter::Sum<S>,
+    {
+        let start = self.range.start;
+        let f = &self.f;
+        let parts = par_map_ranges(self.range.len(), |r| r.map(|i| f(start + i)).sum::<S>());
+        parts.into_iter().sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterators over slices
+// ---------------------------------------------------------------------------
+
+/// Stand-in for `rayon::iter::IntoParallelRefIterator`.
 pub trait IntoParallelRefIterator<'data> {
     type Item: 'data;
-    type Iter: Iterator<Item = Self::Item>;
+    type Iter;
 
     fn par_iter(&'data self) -> Self::Iter;
 }
 
-impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
-where
-    &'data I: IntoIterator,
-{
-    type Item = <&'data I as IntoIterator>::Item;
-    type Iter = <&'data I as IntoIterator>::IntoIter;
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParSliceIter<'data, T>;
 
-    fn par_iter(&'data self) -> Self::Iter {
-        self.into_iter()
+    fn par_iter(&'data self) -> ParSliceIter<'data, T> {
+        ParSliceIter { slice: self }
     }
 }
 
-/// Sequential stand-in for `rayon::iter::IntoParallelRefMutIterator`.
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParSliceIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParSliceIter<'data, T> {
+        ParSliceIter { slice: self }
+    }
+}
+
+/// Parallel shared iterator over a slice.
+pub struct ParSliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParSliceIter<'data, T> {
+    pub fn for_each<F: Fn(&'data T) + Sync>(self, f: F) {
+        let slice = self.slice;
+        par_for_ranges(slice.len(), |r| {
+            for item in &slice[r] {
+                f(item);
+            }
+        });
+    }
+
+    pub fn map<U, F: Fn(&'data T) -> U + Sync>(self, f: F) -> ParSliceMap<'data, T, U, F> {
+        ParSliceMap {
+            slice: self.slice,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<&'data T> + std::iter::Sum<S>,
+    {
+        let slice = self.slice;
+        let parts = par_map_ranges(slice.len(), |r| slice[r].iter().sum::<S>());
+        parts.into_iter().sum()
+    }
+}
+
+/// `map` adapter over a parallel slice iterator.
+pub struct ParSliceMap<'data, T, U, F> {
+    slice: &'data [T],
+    f: F,
+    _out: std::marker::PhantomData<fn() -> U>,
+}
+
+impl<'data, T, U, F> ParSliceMap<'data, T, U, F>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'data T) -> U + Sync,
+{
+    pub fn collect<C: FromParallelIterator<U>>(self) -> C {
+        let slice = self.slice;
+        let f = &self.f;
+        let parts = par_map_ranges(slice.len(), |r| slice[r].iter().map(f).collect::<Vec<U>>());
+        C::from_ordered_parts(parts)
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<U> + std::iter::Sum<S>,
+    {
+        let slice = self.slice;
+        let f = &self.f;
+        let parts = par_map_ranges(slice.len(), |r| slice[r].iter().map(f).sum::<S>());
+        parts.into_iter().sum()
+    }
+}
+
+/// Stand-in for `rayon::iter::IntoParallelRefMutIterator`.
 pub trait IntoParallelRefMutIterator<'data> {
     type Item: 'data;
-    type Iter: Iterator<Item = Self::Item>;
+    type Iter;
 
     fn par_iter_mut(&'data mut self) -> Self::Iter;
 }
 
-impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    type Iter = ParSliceIterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> ParSliceIterMut<'data, T> {
+        ParSliceIterMut { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    type Iter = ParSliceIterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> ParSliceIterMut<'data, T> {
+        ParSliceIterMut { slice: self }
+    }
+}
+
+/// Parallel exclusive iterator over a slice.
+pub struct ParSliceIterMut<'data, T> {
+    slice: &'data mut [T],
+}
+
+impl<'data, T: Send> ParSliceIterMut<'data, T> {
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        par_split_mut(self.slice, 1, |_, part| {
+            for item in part {
+                f(item);
+            }
+        });
+    }
+
+    pub fn enumerate(self) -> ParSliceIterMutEnumerate<'data, T> {
+        ParSliceIterMutEnumerate { slice: self.slice }
+    }
+}
+
+/// Enumerated parallel exclusive iterator over a slice.
+pub struct ParSliceIterMutEnumerate<'data, T> {
+    slice: &'data mut [T],
+}
+
+impl<T: Send> ParSliceIterMutEnumerate<'_, T> {
+    pub fn for_each<F: Fn((usize, &mut T)) + Sync>(self, f: F) {
+        par_split_mut(self.slice, 1, |base, part| {
+            for (i, item) in part.iter_mut().enumerate() {
+                f((base + i, item));
+            }
+        });
+    }
+}
+
+/// Fan a mutable slice out to the current worker count: each worker receives
+/// a contiguous sub-slice aligned to `chunk` elements, together with the index
+/// (in `chunk` units) of its first element.
+fn par_split_mut<T: Send, F>(slice: &mut [T], chunk: usize, body: F)
 where
-    &'data mut I: IntoIterator,
+    F: Fn(usize, &mut [T]) + Sync,
 {
-    type Item = <&'data mut I as IntoIterator>::Item;
-    type Iter = <&'data mut I as IntoIterator>::IntoIter;
+    let nchunks = slice.len().div_ceil(chunk.max(1));
+    let threads = current_num_threads().min(nchunks);
+    if threads <= 1 {
+        if !slice.is_empty() {
+            body(0, slice);
+        }
+        return;
+    }
+    let ranges = split_ranges(nchunks, threads);
+    std::thread::scope(|s| {
+        let mut rest = slice;
+        let mut iter = ranges.into_iter().peekable();
+        while let Some(r) = iter.next() {
+            let take = (r.len() * chunk).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let body = &body;
+            if iter.peek().is_some() {
+                s.spawn(move || body(r.start, head));
+            } else {
+                body(r.start, head);
+            }
+        }
+    });
+}
 
-    fn par_iter_mut(&'data mut self) -> Self::Iter {
-        self.into_iter()
+// ---------------------------------------------------------------------------
+// Parallel chunk iterators
+// ---------------------------------------------------------------------------
+
+/// Stand-in for `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks {
+            slice: self,
+            size: chunk_size,
+        }
     }
 }
 
-/// Sequential stand-in for `rayon::slice::ParallelSlice`.
-pub trait ParallelSlice<T> {
-    fn par_chunks(&self, chunk_size: usize) -> core::slice::Chunks<'_, T>;
+/// Parallel iterator over shared chunks of a slice.
+pub struct ParChunks<'data, T> {
+    slice: &'data [T],
+    size: usize,
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> core::slice::Chunks<'_, T> {
-        self.chunks(chunk_size)
+impl<'data, T: Sync> ParChunks<'data, T> {
+    pub fn for_each<F: Fn(&'data [T]) + Sync>(self, f: F) {
+        let (slice, size) = (self.slice, self.size);
+        let nchunks = slice.len().div_ceil(size);
+        par_for_ranges(nchunks, |r| {
+            for c in r {
+                let start = c * size;
+                let end = (start + size).min(slice.len());
+                f(&slice[start..end]);
+            }
+        });
+    }
+
+    pub fn enumerate(self) -> ParChunksEnumerate<'data, T> {
+        ParChunksEnumerate {
+            slice: self.slice,
+            size: self.size,
+        }
     }
 }
 
-/// Sequential stand-in for `rayon::slice::ParallelSliceMut`.
-pub trait ParallelSliceMut<T> {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> core::slice::ChunksMut<'_, T>;
+/// Enumerated parallel iterator over shared chunks.
+pub struct ParChunksEnumerate<'data, T> {
+    slice: &'data [T],
+    size: usize,
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> core::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
+impl<'data, T: Sync> ParChunksEnumerate<'data, T> {
+    pub fn for_each<F: Fn((usize, &'data [T])) + Sync>(self, f: F) {
+        let (slice, size) = (self.slice, self.size);
+        let nchunks = slice.len().div_ceil(size);
+        par_for_ranges(nchunks, |r| {
+            for c in r {
+                let start = c * size;
+                let end = (start + size).min(slice.len());
+                f((c, &slice[start..end]));
+            }
+        });
     }
 }
 
-/// Number of "worker threads" — always 1 in the sequential stand-in.
-pub fn current_num_threads() -> usize {
-    1
+/// Stand-in for `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
 }
 
-/// Sequential stand-in for `rayon::join`: runs both closures in order.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over exclusive chunks of a slice.
+pub struct ParChunksMut<'data, T> {
+    slice: &'data mut [T],
+    size: usize,
+}
+
+impl<'data, T: Send> ParChunksMut<'data, T> {
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        let size = self.size;
+        par_split_mut(self.slice, size, |_, part| {
+            for chunk in part.chunks_mut(size) {
+                f(chunk);
+            }
+        });
+    }
+
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'data, T> {
+        ParChunksMutEnumerate {
+            slice: self.slice,
+            size: self.size,
+        }
+    }
+}
+
+/// Enumerated parallel iterator over exclusive chunks.
+pub struct ParChunksMutEnumerate<'data, T> {
+    slice: &'data mut [T],
+    size: usize,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+        let size = self.size;
+        par_split_mut(self.slice, size, |base, part| {
+            for (i, chunk) in part.chunks_mut(size).enumerate() {
+                f((base + i, chunk));
+            }
+        });
+    }
 }
 
 pub mod iter {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator,
+    };
 }
 
 pub mod slice {
@@ -114,20 +656,86 @@ pub mod slice {
 
 pub mod prelude {
     pub use crate::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
-        ParallelSliceMut,
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelSlice, ParallelSliceMut,
     };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+
+    /// Run a closure at several installed worker counts, checking the result
+    /// never changes.
+    fn at_thread_counts<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+        let reference = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(&f);
+        for threads in [2, 3, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            assert_eq!(pool.install(&f), reference, "threads = {threads}");
+        }
+    }
 
     #[test]
-    fn adapters_match_sequential_results() {
+    fn range_map_collect_is_ordered() {
+        at_thread_counts(|| {
+            (0..100usize)
+                .into_par_iter()
+                .map(|i| i * i)
+                .collect::<Vec<usize>>()
+        });
         let squares: Vec<usize> = (0..8usize).into_par_iter().map(|i| i * i).collect();
         assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
 
+    #[test]
+    fn range_for_each_visits_every_index_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| {
+                (0..97usize).into_par_iter().for_each(|i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                })
+            });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_init_builds_scratch_per_worker() {
+        // The scratch closure must observe a fresh value per worker but the
+        // per-index work must still cover everything exactly once.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        (0..50usize).into_par_iter().for_each_init(
+            || 0usize,
+            |scratch, i| {
+                *scratch += 1;
+                sum.fetch_add(i, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(sum.load(Ordering::Relaxed), 49 * 50 / 2);
+    }
+
+    #[test]
+    fn chunks_mut_match_sequential_results() {
+        at_thread_counts(|| {
+            let mut data = [1u32; 64];
+            data.par_chunks_mut(2)
+                .enumerate()
+                .for_each(|(i, chunk)| chunk.iter_mut().for_each(|x| *x += i as u32));
+            data
+        });
         let mut data = [1u32; 6];
         data.par_chunks_mut(2)
             .enumerate()
@@ -136,5 +744,74 @@ mod tests {
 
         let total: u32 = data.par_iter().sum();
         assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn ragged_tail_chunk_is_delivered() {
+        // 7 elements in chunks of 3: chunk indices 0, 1, 2 with lengths 3, 3, 1.
+        at_thread_counts(|| {
+            let mut data = [0usize; 7];
+            data.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+                let len = chunk.len();
+                chunk.iter_mut().for_each(|x| *x = 10 * i + len);
+            });
+            data
+        });
+    }
+
+    #[test]
+    fn slice_par_iter_map_and_sum() {
+        let data: Vec<u64> = (1..=100).collect();
+        let doubled: Vec<u64> = data.par_iter().map(|&x| 2 * x).collect();
+        assert_eq!(doubled[99], 200);
+        let s: u64 = data.par_iter().sum();
+        assert_eq!(s, 5050);
+    }
+
+    #[test]
+    fn par_iter_mut_for_each() {
+        let mut data: Vec<i64> = (0..33).collect();
+        data.par_iter_mut().for_each(|x| *x = -*x);
+        assert!(data.iter().enumerate().all(|(i, &x)| x == -(i as i64)));
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        let (a, b) = join(|| 6 * 7, || "right".len());
+        assert_eq!((a, b), (42, 5));
+    }
+
+    #[test]
+    fn install_overrides_and_restores_worker_count() {
+        let outside = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 5);
+        assert_eq!(pool.current_num_threads(), 5);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        let empty: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
+        assert!(empty.is_empty());
+        (0..0usize).into_par_iter().for_each(|_| panic!("no items"));
+        let mut nothing: [u8; 0] = [];
+        nothing.par_chunks_mut(4).for_each(|_| panic!("no chunks"));
+    }
+
+    #[test]
+    fn split_ranges_cover_exactly() {
+        for len in [0usize, 1, 2, 7, 64, 97] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = split_ranges(len, parts);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    expect = r.end;
+                }
+                assert_eq!(expect, len);
+            }
+        }
     }
 }
