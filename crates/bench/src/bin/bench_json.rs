@@ -10,18 +10,28 @@
 //!    kernel path at the machine's full thread count for the parallel scaling
 //!    factor;
 //! 2. a full gate-level QSVT solve on the paper's 4-qubit (N = 16) test
-//!    system (Section IV experimental setup);
+//!    system (Section IV experimental setup), through the **compile-once**
+//!    engine *and* through the retained uncached per-call path — their ratio
+//!    is the per-solve compile-once speedup;
 //! 3. dense-unitary extraction (`circuit_unitary`), the verification hot
-//!    loop.
+//!    loop;
+//! 4. an end-to-end hybrid refinement solve (Algorithm 2, circuit mode):
+//!    compile-once vs the recompile-per-iteration baseline, plus the
+//!    circuit-compile counts of each (from the thread-local
+//!    `qls_sim::circuit_compile_count`);
+//! 5. the multi-RHS workload: one refiner, many right-hand sides — batched
+//!    (`HybridRefiner::solve_many`) vs a sequential loop of `solve`.
 //!
 //! Usage: `bench_json [--preset small|full] [--out PATH]`.  The `small`
 //! preset shrinks every workload so CI can validate the artifact in seconds;
 //! the committed `BENCH_simulator.json` comes from the `full` preset.
 
-use qls_bench::{layered_circuit, paper_test_system, random_circuit};
+use qls_bench::{experiment_rng, layered_circuit, paper_test_system, random_circuit};
+use qls_core::{HybridRefinementOptions, HybridRefiner, QsvtSolverOptions};
+use qls_linalg::Vector;
 use qls_qsvt::{QsvtInverter, QsvtMode};
 use qls_sim::kernels::reference;
-use qls_sim::{circuit_unitary, StateVector};
+use qls_sim::{circuit_compile_count, circuit_unitary, StateVector};
 use rayon::ThreadPoolBuilder;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -37,6 +47,9 @@ struct Preset {
     qsvt_eps: f64,
     unitary_qubits: usize,
     unitary_layers: usize,
+    refine_reps: usize,
+    refine_target: f64,
+    multi_rhs: usize,
 }
 
 const FULL: Preset = Preset {
@@ -50,6 +63,9 @@ const FULL: Preset = Preset {
     qsvt_eps: 0.05,
     unitary_qubits: 8,
     unitary_layers: 5,
+    refine_reps: 3,
+    refine_target: 1e-10,
+    multi_rhs: 8,
 };
 
 const SMALL: Preset = Preset {
@@ -63,6 +79,9 @@ const SMALL: Preset = Preset {
     qsvt_eps: 0.05,
     unitary_qubits: 5,
     unitary_layers: 3,
+    refine_reps: 2,
+    refine_target: 1e-6,
+    multi_rhs: 3,
 };
 
 /// Minimum over `reps` timed runs of `f`, in seconds.
@@ -141,12 +160,21 @@ fn main() {
         .expect("QSVT inverter construction");
     let qsvt_build = build_start.elapsed().as_secs_f64();
     let degree = inverter.resources().degree;
-    let qsvt_solve = time_min(2, || {
+    let qsvt_solve = time_min(3, || {
         std::hint::black_box(inverter.solve_direction(&b).expect("QSVT solve"));
     });
+    let qsvt_solve_uncached = time_min(3, || {
+        std::hint::black_box(
+            inverter
+                .solve_direction_uncached(&b)
+                .expect("uncached QSVT solve"),
+        );
+    });
+    let qsvt_solve_speedup = qsvt_solve_uncached / qsvt_solve;
     eprintln!(
         "  qsvt_solve n={} kappa={} eps={:.0e}: degree {degree}, build {qsvt_build:.4}s, \
-         solve {qsvt_solve:.4}s",
+         compiled solve {qsvt_solve:.4}s, uncached {qsvt_solve_uncached:.4}s \
+         ({qsvt_solve_speedup:.1}x)",
         preset.qsvt_n, preset.qsvt_kappa, preset.qsvt_eps
     );
 
@@ -158,6 +186,81 @@ fn main() {
     eprintln!(
         "  circuit_unitary {}q x {} layers: {unitary_secs:.4}s",
         preset.unitary_qubits, preset.unitary_layers
+    );
+
+    // -- Workload 4: end-to-end hybrid refinement (Algorithm 2) -------------
+    // Compile-once (the QSVT circuit compiled in `new`, reused by every
+    // iteration) vs the retained recompile-per-iteration baseline.  Both
+    // refiners are built outside the timed region: the comparison isolates
+    // what the solve itself pays.
+    let refine_options = |recompile_baseline: bool| HybridRefinementOptions {
+        target_epsilon: preset.refine_target,
+        epsilon_l: preset.qsvt_eps,
+        solver: QsvtSolverOptions {
+            mode: QsvtMode::CircuitReal,
+            recompile_baseline,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let compile_once_refiner =
+        HybridRefiner::new(&a, refine_options(false)).expect("compile-once refiner");
+    let recompile_refiner =
+        HybridRefiner::new(&a, refine_options(true)).expect("recompile refiner");
+    let mut rng = experiment_rng(2);
+    let (_, history) = compile_once_refiner
+        .solve(&b, &mut rng)
+        .expect("refinement solve");
+    let refine_iterations = history.iterations();
+    let compiles_before = circuit_compile_count();
+    let _ = compile_once_refiner.solve(&b, &mut rng).expect("solve");
+    let compile_once_compiles = circuit_compile_count() - compiles_before;
+    let compiles_before = circuit_compile_count();
+    let _ = recompile_refiner.solve(&b, &mut rng).expect("solve");
+    let recompile_compiles = circuit_compile_count() - compiles_before;
+    let refine_compile_once = time_min(preset.refine_reps, || {
+        let mut rng = experiment_rng(3);
+        std::hint::black_box(compile_once_refiner.solve(&b, &mut rng).expect("solve"));
+    });
+    let refine_recompile = time_min(preset.refine_reps, || {
+        let mut rng = experiment_rng(3);
+        std::hint::black_box(recompile_refiner.solve(&b, &mut rng).expect("solve"));
+    });
+    let refine_speedup = refine_recompile / refine_compile_once;
+    eprintln!(
+        "  hybrid_refinement n={} kappa={} eps_l={:.0e} target={:.0e}: \
+         {refine_iterations} iterations, compile-once {refine_compile_once:.4}s \
+         ({compile_once_compiles} circuit compiles), recompile {refine_recompile:.4}s \
+         ({recompile_compiles} compiles) — {refine_speedup:.1}x",
+        preset.qsvt_n, preset.qsvt_kappa, preset.qsvt_eps, preset.refine_target
+    );
+
+    // -- Workload 5: multi-RHS — batched vs sequential solves ---------------
+    let bs: Vec<Vector<f64>> = {
+        let mut rng = experiment_rng(4);
+        (0..preset.multi_rhs)
+            .map(|_| qls_linalg::generate::random_unit_vector(preset.qsvt_n, &mut rng))
+            .collect()
+    };
+    let batched_secs = time_min(preset.refine_reps, || {
+        let mut rng = experiment_rng(5);
+        std::hint::black_box(
+            compile_once_refiner
+                .solve_many(&bs, &mut rng)
+                .expect("batched solve"),
+        );
+    });
+    let sequential_secs = time_min(preset.refine_reps, || {
+        let mut rng = experiment_rng(5);
+        for b in &bs {
+            std::hint::black_box(compile_once_refiner.solve(b, &mut rng).expect("solve"));
+        }
+    });
+    let batch_speedup = sequential_secs / batched_secs;
+    eprintln!(
+        "  multi_rhs {} right-hand sides: batched {batched_secs:.4}s, \
+         sequential {sequential_secs:.4}s ({batch_speedup:.2}x)",
+        preset.multi_rhs
     );
 
     // -- Emit JSON -----------------------------------------------------------
@@ -191,13 +294,36 @@ fn main() {
       "epsilon": {qsvt_eps:e},
       "polynomial_degree": {degree},
       "build_seconds": {qsvt_build:.6},
-      "solve_seconds": {qsvt_solve:.6}
+      "solve_seconds": {qsvt_solve:.6},
+      "uncached_solve_seconds": {qsvt_solve_uncached:.6},
+      "compile_once_vs_uncached_speedup": {qsvt_solve_speedup:.3}
     }},
     {{
       "name": "circuit_unitary",
       "qubits": {uq},
       "layers": {ul},
       "seconds": {unitary_secs:.6}
+    }},
+    {{
+      "name": "hybrid_refinement_circuit_mode",
+      "matrix_size": {qsvt_n},
+      "kappa": {qsvt_kappa},
+      "epsilon_l": {qsvt_eps:e},
+      "target_epsilon": {refine_target:e},
+      "iterations": {refine_iterations},
+      "compile_once_seconds": {refine_compile_once:.6},
+      "recompile_seconds": {refine_recompile:.6},
+      "compile_once_vs_recompile_speedup": {refine_speedup:.3},
+      "compile_once_circuit_compiles": {compile_once_compiles},
+      "recompile_circuit_compiles": {recompile_compiles}
+    }},
+    {{
+      "name": "multi_rhs_refinement",
+      "matrix_size": {qsvt_n},
+      "num_rhs": {multi_rhs},
+      "batched_seconds": {batched_secs:.6},
+      "sequential_seconds": {sequential_secs:.6},
+      "batched_vs_sequential_speedup": {batch_speedup:.3}
     }}
   ]
 }}
@@ -209,6 +335,8 @@ fn main() {
         qsvt_eps = preset.qsvt_eps,
         uq = preset.unitary_qubits,
         ul = preset.unitary_layers,
+        refine_target = preset.refine_target,
+        multi_rhs = preset.multi_rhs,
     );
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     eprintln!("bench_json: wrote {out_path}");

@@ -140,6 +140,14 @@ impl HybridHistory {
 }
 
 /// The hybrid CPU/QPU mixed-precision refiner (Algorithm 2).
+///
+/// Construction compiles; solving never does.  The matrix is fixed, so the
+/// block-encoding, polynomial, phase factors *and the compiled QSVT circuit*
+/// are all built exactly once in [`HybridRefiner::new`] — every refinement
+/// iteration of every [`HybridRefiner::solve`] / [`HybridRefiner::solve_many`]
+/// call reuses them (verified against
+/// `qls_sim::circuit_compile_count` in the tests).  This is the paper's
+/// access pattern: one matrix, many solves.
 pub struct HybridRefiner {
     matrix: Matrix<f64>,
     solver: QsvtLinearSolver,
@@ -147,9 +155,10 @@ pub struct HybridRefiner {
 }
 
 impl HybridRefiner {
-    /// Prepare the refiner: builds the QSVT solver once (block-encoding and
-    /// polynomial are reused across all iterations, as in the paper's
-    /// communication scheme of Fig. 1).
+    /// Prepare the refiner: builds the QSVT solver once (block-encoding,
+    /// polynomial and compiled circuit are reused across all iterations and
+    /// all right-hand sides, as in the paper's communication scheme of
+    /// Fig. 1).
     pub fn new(a: &Matrix<f64>, options: HybridRefinementOptions) -> Result<Self, QsvtError> {
         let mut solver_options = options.solver;
         solver_options.epsilon_l = options.epsilon_l;
@@ -234,6 +243,104 @@ impl HybridRefiner {
                 target_epsilon: self.options.target_epsilon,
             },
         ))
+    }
+
+    /// Run Algorithm 2 for **many** right-hand sides against the same matrix
+    /// — the multi-RHS workload (e.g. a Poisson problem under several
+    /// forcing terms).  All systems share the one compiled QSVT circuit, and
+    /// each round of the refinement loop batches the correction solves of
+    /// every still-active system through
+    /// [`QsvtLinearSolver::solve_many`] (coarse-grained thread fan-out
+    /// across the batch in circuit mode).
+    ///
+    /// With exact readout (`shots: None`) the returned solutions and
+    /// histories are identical to calling [`HybridRefiner::solve`] per
+    /// right-hand side; with finite-shot sampling the RNG is consumed in
+    /// batch order instead of per-system order.
+    pub fn solve_many<R: Rng>(
+        &self,
+        bs: &[Vector<f64>],
+        rng: &mut R,
+    ) -> Result<Vec<(Vector<f64>, HybridHistory)>, QsvtError> {
+        let kappa = self.solver.kappa();
+        let epsilon_l = self.options.epsilon_l;
+        let contraction = (epsilon_l * kappa).min(1.0);
+
+        struct System {
+            x: Vector<f64>,
+            steps: Vec<HybridStep>,
+            status: Option<HybridStatus>,
+            prev_omega: f64,
+        }
+
+        // Initial solves for every right-hand side, batched.
+        let firsts = self.solver.solve_many(bs, rng)?;
+        let mut systems: Vec<System> = firsts
+            .into_iter()
+            .map(|first| {
+                let status = (first.scaled_residual <= self.options.target_epsilon)
+                    .then_some(HybridStatus::Converged);
+                System {
+                    x: first.solution.clone(),
+                    prev_omega: first.scaled_residual,
+                    steps: vec![HybridStep {
+                        iteration: 0,
+                        scaled_residual: first.scaled_residual,
+                        theoretical_bound: contraction,
+                        cost: first.cost,
+                    }],
+                    status,
+                }
+            })
+            .collect();
+
+        for it in 1..=self.options.max_iterations {
+            let active: Vec<usize> = (0..systems.len())
+                .filter(|&k| systems[k].status.is_none())
+                .collect();
+            if active.is_empty() {
+                break;
+            }
+            // CPU: residuals of all active systems in high precision.
+            let residuals: Vec<Vector<f64>> = active
+                .iter()
+                .map(|&k| &bs[k] - &self.matrix.matvec(&systems[k].x))
+                .collect();
+            // QPU: one batched round of correction solves at accuracy ε_l.
+            let corrections = self.solver.solve_many(&residuals, rng)?;
+            for (&k, correction) in active.iter().zip(corrections) {
+                let sys = &mut systems[k];
+                // CPU: update in high precision.
+                sys.x += &correction.solution;
+                let omega = scaled_residual(&self.matrix, &sys.x, &bs[k]);
+                sys.steps.push(HybridStep {
+                    iteration: it,
+                    scaled_residual: omega,
+                    theoretical_bound: contraction.powi(it as i32 + 1),
+                    cost: correction.cost,
+                });
+                if omega <= self.options.target_epsilon {
+                    sys.status = Some(HybridStatus::Converged);
+                } else if omega > sys.prev_omega * 0.95 {
+                    sys.status = Some(HybridStatus::Stagnated);
+                }
+                sys.prev_omega = omega;
+            }
+        }
+
+        Ok(systems
+            .into_iter()
+            .map(|sys| {
+                let history = HybridHistory {
+                    steps: sys.steps,
+                    status: sys.status.unwrap_or(HybridStatus::MaxIterations),
+                    kappa,
+                    epsilon_l,
+                    target_epsilon: self.options.target_epsilon,
+                };
+                (sys.x, history)
+            })
+            .collect())
     }
 }
 
@@ -397,6 +504,130 @@ mod tests {
             per_solve * history.steps.len()
         );
         assert!(history.total_shots() > 0);
+    }
+
+    #[test]
+    fn refinement_compiles_the_qsvt_circuit_exactly_once() {
+        // Acceptance check of the compile-once engine: in circuit mode the
+        // QSVT circuit is compiled during `new` and *never* inside the
+        // iteration loop.  The compile counter is thread-local, so other
+        // test threads cannot perturb it.
+        let (a, b) = system(2.0, 4, 158);
+        let options = HybridRefinementOptions {
+            target_epsilon: 1e-8,
+            epsilon_l: 0.05,
+            solver: crate::solver::QsvtSolverOptions {
+                mode: qls_qsvt::QsvtMode::CircuitReal,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let before_new = qls_sim::circuit_compile_count();
+        let refiner = HybridRefiner::new(&a, options).unwrap();
+        let compiles_in_new = qls_sim::circuit_compile_count() - before_new;
+        assert!(
+            compiles_in_new >= 1,
+            "construction must compile the circuit"
+        );
+
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let before_solve = qls_sim::circuit_compile_count();
+        let (_, history) = refiner.solve(&b, &mut rng).unwrap();
+        let (_, _) = (
+            refiner
+                .solve_many(&[b.clone(), b.clone()], &mut rng)
+                .unwrap(),
+            (),
+        );
+        assert_eq!(
+            qls_sim::circuit_compile_count(),
+            before_solve,
+            "no recompilation inside the refinement loop"
+        );
+        assert!(history.iterations() >= 1, "the loop actually iterated");
+
+        // The retained recompile baseline, by contrast, compiles on every
+        // inner solve — once per step of the history.
+        let baseline = HybridRefiner::new(
+            &a,
+            HybridRefinementOptions {
+                target_epsilon: 1e-8,
+                epsilon_l: 0.05,
+                solver: crate::solver::QsvtSolverOptions {
+                    mode: qls_qsvt::QsvtMode::CircuitReal,
+                    recompile_baseline: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let before_baseline = qls_sim::circuit_compile_count();
+        let (_, baseline_history) = baseline.solve(&b, &mut rng).unwrap();
+        assert_eq!(
+            qls_sim::circuit_compile_count() - before_baseline,
+            baseline_history.steps.len(),
+            "the baseline recompiles once per solve step"
+        );
+    }
+
+    #[test]
+    fn recompile_baseline_agrees_with_compile_once_refinement() {
+        let (a, b) = system(2.0, 4, 159);
+        let make = |recompile_baseline: bool| HybridRefinementOptions {
+            target_epsilon: 1e-8,
+            epsilon_l: 0.05,
+            solver: crate::solver::QsvtSolverOptions {
+                mode: qls_qsvt::QsvtMode::CircuitReal,
+                recompile_baseline,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(18);
+        let (x_fast, h_fast) = HybridRefiner::new(&a, make(false))
+            .unwrap()
+            .solve(&b, &mut rng)
+            .unwrap();
+        let (x_slow, h_slow) = HybridRefiner::new(&a, make(true))
+            .unwrap()
+            .solve(&b, &mut rng)
+            .unwrap();
+        assert_eq!(h_fast.status, h_slow.status);
+        assert_eq!(h_fast.steps.len(), h_slow.steps.len());
+        let rel = (&x_fast - &x_slow).norm2() / x_slow.norm2();
+        assert!(rel < 1e-10, "paths diverge by {rel}");
+    }
+
+    #[test]
+    fn solve_many_matches_sequential_solves() {
+        let (a, _) = system(10.0, 16, 160);
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        let bs: Vec<Vector<f64>> = (0..4).map(|_| random_unit_vector(16, &mut rng)).collect();
+        let options = HybridRefinementOptions {
+            target_epsilon: 1e-10,
+            epsilon_l: 1e-2,
+            ..Default::default()
+        };
+        let refiner = HybridRefiner::new(&a, options).unwrap();
+        let many = refiner.solve_many(&bs, &mut rng).unwrap();
+        assert_eq!(many.len(), bs.len());
+        for (b, (x_many, h_many)) in bs.iter().zip(&many) {
+            let (x_single, h_single) = refiner.solve(b, &mut rng).unwrap();
+            assert_eq!(h_many.status, h_single.status);
+            assert_eq!(h_many.steps.len(), h_single.steps.len());
+            // Exact readout: batched and sequential refinement are the same
+            // float-for-float computation.
+            assert_eq!((x_many - &x_single).norm2(), 0.0);
+            for (sm, ss) in h_many.steps.iter().zip(&h_single.steps) {
+                assert_eq!(sm.scaled_residual, ss.scaled_residual);
+            }
+        }
+        // Every system individually satisfies the convergence contract.
+        for (_, history) in &many {
+            assert_eq!(history.status, HybridStatus::Converged);
+            assert!(history.final_residual() <= 1e-10);
+        }
     }
 
     #[test]

@@ -35,6 +35,14 @@ pub struct QsvtSolverOptions {
     pub shots: Option<usize>,
     /// Iteration/evaluation budget of the Brent norm-recovery step.
     pub brent_tolerance: f64,
+    /// Perf-trajectory baseline switch: when `true`, every solve applies the
+    /// QSVT circuit through the **uncached** pre-compile-once path
+    /// (`QsvtInverter::solve_direction_uncached` — the circuit is recompiled
+    /// on each call, as every solve did before the execution-engine layer).
+    /// Retained so `bench_json` can measure compile-once vs
+    /// recompile-per-iteration end to end and tests can check the two paths
+    /// agree.  Leave `false` outside benchmarks.
+    pub recompile_baseline: bool,
 }
 
 impl Default for QsvtSolverOptions {
@@ -44,6 +52,7 @@ impl Default for QsvtSolverOptions {
             mode: QsvtMode::Emulation,
             shots: None,
             brent_tolerance: 1e-12,
+            recompile_baseline: false,
         }
     }
 }
@@ -131,15 +140,54 @@ impl QsvtLinearSolver {
         b: &Vector<f64>,
         rng: &mut R,
     ) -> Result<QsvtSolveResult, QsvtError> {
-        let n = b.len();
-        assert_eq!(n, self.matrix.nrows(), "dimension mismatch");
+        assert_eq!(b.len(), self.matrix.nrows(), "dimension mismatch");
+        // Quantum solve: direction of the solution, through the compiled-once
+        // circuit (or the retained recompile-per-call baseline when the
+        // benchmark switch asks for it).
+        let (direction, success_probability) = if self.options.recompile_baseline {
+            self.inverter.solve_direction_uncached(b)?
+        } else {
+            self.inverter.solve_direction(b)?
+        };
+        Ok(self.finish_solve(b, direction, success_probability, rng))
+    }
 
+    /// Solve `A x = b_k` for **many** right-hand sides, reusing the one
+    /// compiled QSVT circuit across the whole batch
+    /// (`QsvtInverter::solve_direction_batch`, which fans the registers out
+    /// across threads in circuit mode).  Results are identical to calling
+    /// [`QsvtLinearSolver::solve`] per right-hand side in order.
+    pub fn solve_many<R: Rng>(
+        &self,
+        bs: &[Vector<f64>],
+        rng: &mut R,
+    ) -> Result<Vec<QsvtSolveResult>, QsvtError> {
+        if self.options.recompile_baseline {
+            // The baseline has no batch path — it models the engine-less API.
+            return bs.iter().map(|b| self.solve(b, rng)).collect();
+        }
+        let directions = self.inverter.solve_direction_batch(bs)?;
+        Ok(bs
+            .iter()
+            .zip(directions)
+            .map(|(b, (direction, success))| self.finish_solve(b, direction, success, rng))
+            .collect())
+    }
+
+    /// Classical pre/post-processing shared by the single and batched solve:
+    /// state-preparation accounting, optional finite-shot readout, Brent norm
+    /// recovery (Remark 2) and the cost record.
+    fn finish_solve<R: Rng>(
+        &self,
+        b: &Vector<f64>,
+        mut direction: Vector<f64>,
+        success_probability: f64,
+        rng: &mut R,
+    ) -> QsvtSolveResult {
+        let n = b.len();
         // Classical pre-processing: the state-preparation tree of b/‖b‖.
         let prep = StatePreparation::new(b);
         let state_prep_flops = prep.classical_flops;
-
-        // Quantum solve: direction of the solution.
-        let (mut direction, success_probability) = self.inverter.solve_direction(b)?;
 
         // Optional finite-shot readout: perturb magnitudes with multinomial
         // sampling noise, keep the signs (sign recovery is assumed exact, see
@@ -178,7 +226,7 @@ impl QsvtLinearSolver {
         let solution = direction.scaled(scale);
         let omega = scaled_residual(&self.matrix, &solution, b);
 
-        Ok(QsvtSolveResult {
+        QsvtSolveResult {
             solution,
             direction,
             scale,
@@ -192,7 +240,7 @@ impl QsvtLinearSolver {
                 brent_evaluations: brent.evaluations,
                 classical_matvec_flops: 2 * n * n,
             },
-        })
+        }
     }
 }
 

@@ -61,47 +61,34 @@ pub trait BlockEncodingExt: BlockEncoding {
     /// Apply `A/α` to a data-register vector by running the circuit on
     /// `|0⟩_a ⊗ |ψ⟩` and projecting the ancillas back onto `|0⟩_a`
     /// (no renormalisation — this is the raw block action, which is what the
-    /// QSVT algebra needs).
+    /// QSVT algebra needs).  The block action is linear, so the input is used
+    /// as-is (no normalise/renormalise round trip).
+    ///
+    /// One-shot convenience: the circuit is compiled on every call.  Code
+    /// that applies the same encoding repeatedly (or to many inputs at once)
+    /// should build a [`crate::executor::BlockEncodingExecutor`] instead,
+    /// which compiles the forward *and* adjoint circuit exactly once.
     fn apply(&self, data: &[Complex64]) -> Vec<Complex64> {
-        let n = self.num_data_qubits();
-        let dim = 1usize << n;
-        assert_eq!(data.len(), dim, "data vector dimension mismatch");
-        let norm = data.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
-        if norm == 0.0 {
-            return vec![Complex64::new(0.0, 0.0); dim];
-        }
-        // Embed |psi> on the data qubits, ancillas in |0>.
-        let total = self.total_qubits();
-        let mut amps = vec![Complex64::new(0.0, 0.0); 1usize << total];
-        for (i, &a) in data.iter().enumerate() {
-            amps[i] = a / norm;
-        }
-        let mut sv = StateVector::from_amplitudes(amps);
-        sv.apply_circuit(self.circuit());
-        // Project ancillas onto |0>: keep the low-dim amplitudes.
-        sv.project_zeros(&(n..total).collect::<Vec<_>>());
-        sv.amplitudes()[..dim].iter().map(|a| a * norm).collect()
+        embed_run_project(
+            self.circuit(),
+            self.num_data_qubits(),
+            self.total_qubits(),
+            data,
+        )
     }
 
     /// Apply the *adjoint* block `A†/α` to a data-register vector (runs the
-    /// adjoint circuit).
+    /// adjoint circuit).  One-shot convenience, like
+    /// [`BlockEncodingExt::apply`]: the adjoint circuit is re-derived and
+    /// compiled per call — use a
+    /// [`crate::executor::BlockEncodingExecutor`] for repeated application.
     fn apply_adjoint(&self, data: &[Complex64]) -> Vec<Complex64> {
-        let n = self.num_data_qubits();
-        let dim = 1usize << n;
-        assert_eq!(data.len(), dim, "data vector dimension mismatch");
-        let norm = data.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
-        if norm == 0.0 {
-            return vec![Complex64::new(0.0, 0.0); dim];
-        }
-        let total = self.total_qubits();
-        let mut amps = vec![Complex64::new(0.0, 0.0); 1usize << total];
-        for (i, &a) in data.iter().enumerate() {
-            amps[i] = a / norm;
-        }
-        let mut sv = StateVector::from_amplitudes(amps);
-        sv.apply_circuit(&self.circuit().adjoint());
-        sv.project_zeros(&(n..total).collect::<Vec<_>>());
-        sv.amplitudes()[..dim].iter().map(|a| a * norm).collect()
+        embed_run_project(
+            &self.circuit().adjoint(),
+            self.num_data_qubits(),
+            self.total_qubits(),
+            data,
+        )
     }
 
     /// Success probability of post-selecting the ancillas on `|0⟩` when the
@@ -117,6 +104,54 @@ pub trait BlockEncodingExt: BlockEncoding {
 }
 
 impl<T: BlockEncoding + ?Sized> BlockEncodingExt for T {}
+
+/// Embed a data-register vector on the low qubits of a `total_qubits`-wide
+/// register, ancillas in `|0⟩`, **without normalising** (the block action is
+/// linear).  Shared by the `Ext` one-shot helpers, the
+/// [`crate::executor::BlockEncodingExecutor`] engine and the QSVT layer —
+/// the single place that pins the "data low, ancillas high" convention.
+pub fn embed_data(data: &[Complex64], total_qubits: usize) -> StateVector {
+    assert!(data.len().is_power_of_two(), "data length must be 2^n");
+    assert!(data.len() <= 1usize << total_qubits, "register too small");
+    let mut amps = vec![Complex64::new(0.0, 0.0); 1usize << total_qubits];
+    amps[..data.len()].copy_from_slice(data);
+    StateVector::from_amplitudes_unchecked(amps)
+}
+
+/// Project the given ancilla qubits back onto `|0⟩` (no renormalisation —
+/// the raw block action) and return the low `2^num_data_qubits` data block.
+/// Counterpart of [`embed_data`].
+pub fn project_data(
+    state: &mut StateVector,
+    num_data_qubits: usize,
+    ancillas: &[usize],
+) -> Vec<Complex64> {
+    state.project_zeros(ancillas);
+    state.amplitudes()[..1usize << num_data_qubits].to_vec()
+}
+
+/// Shared body of [`BlockEncodingExt::apply`] / `apply_adjoint`: embed the
+/// data on the low qubits (ancillas `|0⟩`), run the circuit, project the
+/// ancillas back onto `|0⟩` and return the data block.  Linear in `data`.
+fn embed_run_project(
+    circuit: &Circuit,
+    num_data_qubits: usize,
+    total_qubits: usize,
+    data: &[Complex64],
+) -> Vec<Complex64> {
+    assert_eq!(
+        data.len(),
+        1usize << num_data_qubits,
+        "data vector dimension mismatch"
+    );
+    let mut sv = embed_data(data, total_qubits);
+    sv.apply_circuit(circuit);
+    project_data(
+        &mut sv,
+        num_data_qubits,
+        &(num_data_qubits..total_qubits).collect::<Vec<_>>(),
+    )
+}
 
 /// Check that a circuit really is a block-encoding of `reference` with the
 /// claimed `alpha`, returning the maximum entry-wise error (test helper shared

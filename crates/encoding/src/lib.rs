@@ -22,10 +22,15 @@
 //!   note).
 //!
 //! All encodings implement the [`BlockEncoding`] trait so the QSVT layer in
-//! `qls-qsvt` is agnostic to which construction produced the circuit.
+//! `qls-qsvt` is agnostic to which construction produced the circuit.  The
+//! trait's `Ext` helpers are one-shot conveniences; repeated or batched
+//! application goes through [`executor::BlockEncodingExecutor`], which
+//! compiles the forward and adjoint circuits exactly once (the compile-once
+//! engine pattern of `qls_sim::QuantumExecutor`).
 
 pub mod block_encoding;
 pub mod dilation;
+pub mod executor;
 pub mod fable;
 pub mod lcu;
 pub mod pauli;
@@ -34,6 +39,7 @@ pub mod tridiag;
 
 pub use block_encoding::{BlockEncoding, BlockEncodingExt};
 pub use dilation::DilationBlockEncoding;
+pub use executor::BlockEncodingExecutor;
 pub use fable::FableBlockEncoding;
 pub use lcu::LcuBlockEncoding;
 pub use pauli::{PauliDecomposition, PauliString, PauliTerm};

@@ -1,0 +1,211 @@
+//! The compile-once execution engine.
+//!
+//! Every layer above the simulator (block-encodings, the QSVT inverter, the
+//! hybrid refinement loop) has the paper's access pattern: **one circuit,
+//! many executions** — the matrix is fixed, so its block-encoding and QSVT
+//! circuit never change, while right-hand sides and residuals arrive by the
+//! dozen.  [`QuantumExecutor`] owns that pattern: it compiles a circuit
+//! exactly once into its [`CompiledCircuit`] form and then exposes
+//!
+//! * [`QuantumExecutor::run`] / [`run_in_place`](QuantumExecutor::run_in_place)
+//!   — apply the compiled circuit to one register (per-gate thread fan-out as
+//!   usual, see [`crate::kernels`]);
+//! * [`QuantumExecutor::run_batch`] — apply the compiled circuit to **many**
+//!   registers, fanning out across the *batch* with one register per worker
+//!   thread.  Coarse-grained batch parallelism scales on multi-core machines
+//!   where per-gate fan-out cannot (a gate application is memory-bound and
+//!   synchronises at every gate; independent registers never synchronise).
+//!   Inside a batch fan-out the per-gate parallelism is disabled
+//!   ([`CompiledCircuit::apply_sequential`]), so no nested thread spawning
+//!   occurs and results stay bit-identical to a sequential loop of
+//!   [`run`](QuantumExecutor::run) at any thread count.
+//!
+//! ## Caching contract
+//!
+//! Construction compiles; execution never does.  The thread-local
+//! [`crate::kernels::circuit_compile_count`] makes the contract testable:
+//! wrap any `run`/`run_batch` region with it and the count must not move.
+
+use crate::circuit::Circuit;
+use crate::kernels::{CompiledCircuit, PARALLEL_WORK_THRESHOLD};
+use crate::state::StateVector;
+use rayon::prelude::*;
+
+/// A circuit compiled once and executable many times, single or batched.
+#[derive(Debug, Clone)]
+pub struct QuantumExecutor {
+    compiled: CompiledCircuit,
+}
+
+impl QuantumExecutor {
+    /// Compile `circuit` once for its own register width.
+    pub fn new(circuit: &Circuit) -> Self {
+        QuantumExecutor {
+            compiled: CompiledCircuit::compile(circuit),
+        }
+    }
+
+    /// Compile `circuit` once for a register of `num_qubits` (≥ the circuit's
+    /// width), so the compiled form can run on a larger register directly.
+    pub fn for_register(circuit: &Circuit, num_qubits: usize) -> Self {
+        QuantumExecutor {
+            compiled: CompiledCircuit::compile_for(circuit, num_qubits),
+        }
+    }
+
+    /// Wrap an already-compiled circuit.
+    pub fn from_compiled(compiled: CompiledCircuit) -> Self {
+        QuantumExecutor { compiled }
+    }
+
+    /// Register width the engine was compiled for.
+    pub fn num_qubits(&self) -> usize {
+        self.compiled.num_qubits()
+    }
+
+    /// Number of compiled operations.
+    pub fn len(&self) -> usize {
+        self.compiled.len()
+    }
+
+    /// True when the compiled circuit has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.compiled.is_empty()
+    }
+
+    /// The compiled artefact itself.
+    pub fn compiled(&self) -> &CompiledCircuit {
+        &self.compiled
+    }
+
+    /// Apply the compiled circuit to `state` in place (per-gate fan-out above
+    /// the usual work threshold).
+    pub fn run_in_place(&self, state: &mut StateVector) {
+        self.compiled.apply(state);
+    }
+
+    /// Apply the compiled circuit to a copy of `initial` and return the
+    /// result.
+    pub fn run(&self, initial: &StateVector) -> StateVector {
+        let mut state = initial.clone();
+        self.run_in_place(&mut state);
+        state
+    }
+
+    /// Run the compiled circuit on `|0…0⟩`.
+    pub fn run_zero(&self) -> StateVector {
+        let mut state = StateVector::zero_state(self.num_qubits());
+        self.run_in_place(&mut state);
+        state
+    }
+
+    /// Apply the compiled circuit to every register of `states` in place,
+    /// fanning out **across the batch** (one register per worker) when the
+    /// total work justifies threads.  Results are bit-identical to
+    /// `for s in states { executor.run_in_place(s) }` at any thread count.
+    pub fn run_batch(&self, states: &mut [StateVector]) {
+        if let Some(first) = states.first() {
+            let per_state = self.compiled.work_estimate(first.amplitudes().len());
+            let batch_work = per_state.saturating_mul(states.len());
+            if states.len() >= 2
+                && batch_work >= PARALLEL_WORK_THRESHOLD
+                && rayon::current_num_threads() > 1
+            {
+                // Coarse grain: one register per worker, per-gate fan-out off
+                // so worker threads never spawn nested workers.
+                states
+                    .par_iter_mut()
+                    .for_each(|state| self.compiled.apply_sequential(state));
+                return;
+            }
+        }
+        for state in states {
+            self.compiled.apply(state);
+        }
+    }
+
+    /// [`QuantumExecutor::run_batch`] over owned initial states, returning the
+    /// final states in order.
+    pub fn run_batch_vec(&self, mut states: Vec<StateVector>) -> Vec<StateVector> {
+        self.run_batch(&mut states);
+        states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use crate::kernels::circuit_compile_count;
+
+    fn test_circuit(n: usize) -> Circuit {
+        let mut circ = Circuit::new(n);
+        circ.h(0);
+        for q in 1..n {
+            circ.cx(q - 1, q);
+        }
+        circ.ry(0, 0.31).rz(n - 1, -0.7).t(n / 2);
+        circ.gate(Gate::Phase(0.4), &[1]);
+        circ
+    }
+
+    #[test]
+    fn run_matches_apply_circuit() {
+        let circ = test_circuit(5);
+        let exec = QuantumExecutor::new(&circ);
+        let via_exec = exec.run_zero();
+        let mut via_state = StateVector::zero_state(5);
+        via_state.apply_circuit(&circ);
+        assert_eq!(via_exec.amplitudes(), via_state.amplitudes());
+    }
+
+    #[test]
+    fn construction_compiles_once_and_runs_never_compile() {
+        let circ = test_circuit(4);
+        let before = circuit_compile_count();
+        let exec = QuantumExecutor::new(&circ);
+        assert_eq!(circuit_compile_count(), before + 1);
+        let mut batch: Vec<StateVector> = (0..6).map(|i| StateVector::basis_state(4, i)).collect();
+        let _ = exec.run_zero();
+        let _ = exec.run(&batch[0]);
+        exec.run_batch(&mut batch);
+        assert_eq!(
+            circuit_compile_count(),
+            before + 1,
+            "run/run_batch must not recompile"
+        );
+    }
+
+    #[test]
+    fn batch_matches_sequential_runs() {
+        let circ = test_circuit(6);
+        let exec = QuantumExecutor::new(&circ);
+        let initial: Vec<StateVector> =
+            (0..8).map(|i| StateVector::basis_state(6, i * 3)).collect();
+        let mut batch = initial.clone();
+        exec.run_batch(&mut batch);
+        for (b, init) in batch.iter().zip(&initial) {
+            let single = exec.run(init);
+            assert_eq!(b.amplitudes(), single.amplitudes());
+        }
+    }
+
+    #[test]
+    fn for_register_runs_on_larger_register() {
+        let circ = test_circuit(3);
+        let exec = QuantumExecutor::for_register(&circ, 5);
+        assert_eq!(exec.num_qubits(), 5);
+        let out = exec.run_zero();
+        let mut direct = StateVector::zero_state(5);
+        direct.apply_circuit(&circ);
+        assert_eq!(out.amplitudes(), direct.amplitudes());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let exec = QuantumExecutor::new(&test_circuit(2));
+        exec.run_batch(&mut []);
+        assert!(!exec.is_empty());
+        assert_eq!(exec.len(), 1 + 1 + 3 + 1); // h + cx + ry/rz/t + phase
+    }
+}

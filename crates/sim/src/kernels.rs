@@ -54,6 +54,28 @@ use crate::gate::Gate;
 use crate::state::StateVector;
 use num_complex::Complex64;
 use rayon::prelude::*;
+use std::cell::Cell;
+
+thread_local! {
+    /// Number of [`CompiledCircuit`] compilations performed by *this thread*.
+    ///
+    /// The counter is thread-local on purpose: compilation always happens on
+    /// the thread that calls [`CompiledCircuit::compile_for`] (the kernel
+    /// fan-out parallelises application, never compilation), so a test or
+    /// bench can assert compile-once behaviour — "this solve performed zero
+    /// recompilations" — without races against other test threads.
+    static CIRCUIT_COMPILES: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of circuit compilations ([`CompiledCircuit::compile`] /
+/// [`CompiledCircuit::compile_for`]) performed so far by the calling thread.
+///
+/// Read it before and after a code region to verify a caching contract: the
+/// compile-once engines ([`crate::executor::QuantumExecutor`] and everything
+/// built on it) must not change this count during `run`/`run_batch`.
+pub fn circuit_compile_count() -> usize {
+    CIRCUIT_COMPILES.with(|c| c.get())
+}
 
 /// Minimum amount of work — measured in complex multiplies — in one gate
 /// application before the update fans out across threads.  Each kernel
@@ -300,6 +322,15 @@ impl CompiledOp {
         len >> self.fixed_bits.len()
     }
 
+    /// Approximate complex multiplies of one application to an `len`-amplitude
+    /// register: the free-index count weighted by the kernel's per-iteration
+    /// cost.  This is the same quantity the parallel-fan-out decision uses;
+    /// batch engines use it to choose between per-gate and per-register
+    /// parallelism.
+    pub fn work_estimate(&self, len: usize) -> usize {
+        self.free_count(len).saturating_mul(self.kernel.unit_cost())
+    }
+
     /// Apply the compiled operation to `amps` in place.  `scratch` is the
     /// reusable gather buffer for the generic kernel (untouched otherwise).
     ///
@@ -308,6 +339,25 @@ impl CompiledOp {
     /// free); anything shorter is rejected *before* the raw-pointer kernels
     /// run, in release builds too.
     pub fn apply(&self, amps: &mut [Complex64], scratch: &mut Vec<Complex64>) {
+        self.apply_with(amps, scratch, true);
+    }
+
+    /// [`CompiledOp::apply`] with the per-gate thread fan-out disabled, for
+    /// callers that already parallelise at a coarser grain (one register per
+    /// thread, as in [`crate::executor::QuantumExecutor::run_batch`]) and must
+    /// not spawn nested worker threads.  Produces bit-identical results to
+    /// [`CompiledOp::apply`]: the parallel partitioning never reorders
+    /// per-amplitude arithmetic.
+    pub fn apply_sequential(&self, amps: &mut [Complex64], scratch: &mut Vec<Complex64>) {
+        self.apply_with(amps, scratch, false);
+    }
+
+    fn apply_with(
+        &self,
+        amps: &mut [Complex64],
+        scratch: &mut Vec<Complex64>,
+        allow_parallel: bool,
+    ) {
         assert!(
             amps.len().is_power_of_two() && amps.len() >= (1usize << self.num_qubits),
             "operation compiled for {} qubits applied to {} amplitudes",
@@ -317,7 +367,8 @@ impl CompiledOp {
         let count = self.free_count(amps.len());
         let cm = self.control_mask;
         let fixed = self.fixed_bits.as_slice();
-        let parallel = count.saturating_mul(self.kernel.unit_cost()) >= PARALLEL_WORK_THRESHOLD
+        let parallel = allow_parallel
+            && count.saturating_mul(self.kernel.unit_cost()) >= PARALLEL_WORK_THRESHOLD
             && rayon::current_num_threads() > 1;
         // Uncontrolled single-target kernels on the sequential path walk the
         // `2^(bit+1)`-sized blocks with plain slice loops: no per-index bit
@@ -497,6 +548,7 @@ impl CompiledCircuit {
             circuit.num_qubits(),
             num_qubits
         );
+        CIRCUIT_COMPILES.with(|c| c.set(c.get() + 1));
         CompiledCircuit {
             num_qubits,
             ops: circuit
@@ -522,8 +574,28 @@ impl CompiledCircuit {
         self.ops.is_empty()
     }
 
+    /// Approximate complex multiplies of one full application to an
+    /// `len`-amplitude register (sum of every operation's
+    /// [`CompiledOp::work_estimate`]).
+    pub fn work_estimate(&self, len: usize) -> usize {
+        self.ops
+            .iter()
+            .map(|op| op.work_estimate(len))
+            .fold(0usize, |a, w| a.saturating_add(w))
+    }
+
     /// Apply all compiled operations to `state` in order, in place.
     pub fn apply(&self, state: &mut StateVector) {
+        self.apply_with(state, true);
+    }
+
+    /// [`CompiledCircuit::apply`] with the per-gate thread fan-out disabled
+    /// (see [`CompiledOp::apply_sequential`]); bit-identical results.
+    pub fn apply_sequential(&self, state: &mut StateVector) {
+        self.apply_with(state, false);
+    }
+
+    fn apply_with(&self, state: &mut StateVector, allow_parallel: bool) {
         assert!(
             self.num_qubits <= state.num_qubits(),
             "compiled circuit needs {} qubits, register has {}",
@@ -532,7 +604,7 @@ impl CompiledCircuit {
         );
         let (amps, scratch) = state.amps_and_scratch();
         for op in &self.ops {
-            op.apply(amps, scratch);
+            op.apply_with(amps, scratch, allow_parallel);
         }
     }
 }

@@ -34,6 +34,17 @@
 //!    bit-identical at every worker count
 //!    (`rayon::ThreadPoolBuilder::install` pins the count in tests).
 //!
+//! 3. **Compile once, execute many.**  [`QuantumExecutor`] ([`executor`]) is
+//!    the execution-engine layer the rest of the workspace builds on: it owns
+//!    a [`CompiledCircuit`] compiled exactly once at construction and exposes
+//!    `run`/`run_in_place` plus a batched `run_batch` that applies the one
+//!    compiled circuit to many registers with **coarse-grained fan-out across
+//!    the batch** (one register per worker, per-gate parallelism disabled
+//!    inside the fan-out so threads never nest).  Construction compiles,
+//!    execution never does; the thread-local
+//!    [`kernels::circuit_compile_count`] counter makes that contract
+//!    testable.
+//!
 //! The seed's original "rebuild the whole vector per gate" path survives as
 //! `kernels::reference`, serving as the property-test oracle and the baseline
 //! of the `BENCH_simulator.json` perf trajectory (`bench_json` binary).
@@ -60,6 +71,7 @@
 
 pub mod circuit;
 pub mod cmatrix;
+pub mod executor;
 pub mod gate;
 pub mod kernels;
 pub mod measure;
@@ -69,8 +81,9 @@ pub mod unitary;
 
 pub use circuit::{Circuit, Operation};
 pub use cmatrix::CMatrix;
+pub use executor::QuantumExecutor;
 pub use gate::Gate;
-pub use kernels::{CompiledCircuit, CompiledOp, PARALLEL_WORK_THRESHOLD};
+pub use kernels::{circuit_compile_count, CompiledCircuit, CompiledOp, PARALLEL_WORK_THRESHOLD};
 pub use measure::{
     estimate_magnitudes, sample, shots_for_accuracy, signed_from_magnitudes, SampleResult,
 };

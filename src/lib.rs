@@ -13,11 +13,18 @@
 //!   polynomial;
 //! * [`sim`] (`qls-sim`) — the state-vector quantum simulator (compiled
 //!   in-place gate kernels with real thread fan-out; see the performance
-//!   model in `qls_sim::kernels`);
+//!   model in `qls_sim::kernels`) and the compile-once execution engine
+//!   (`qls_sim::QuantumExecutor`: compile a circuit exactly once, `run` it
+//!   many times, `run_batch` it across many registers with coarse-grained
+//!   thread fan-out);
 //! * [`encoding`] (`qls-encoding`) — state preparation and block-encodings;
-//! * [`qsvt`] (`qls-qsvt`) — QSP phases, QSVT circuits, matrix inversion;
-//! * [`core`] (`qls-core`) — the hybrid solver (Algorithm 2), cost models,
-//!   communication model and baselines.
+//! * [`qsvt`] (`qls-qsvt`) — QSP phases, QSVT circuits, matrix inversion
+//!   (compile-once: `QsvtInverter` compiles its circuit in `new` and offers
+//!   batched multi-RHS solves via `solve_direction_batch`);
+//! * [`core`] (`qls-core`) — the hybrid solver (Algorithm 2; `HybridRefiner`
+//!   reuses one compiled circuit across all refinement iterations and all
+//!   right-hand sides of `solve_many`), cost models, communication model and
+//!   baselines.
 //!
 //! ## Workspace layout
 //!
@@ -51,8 +58,8 @@
 //! ## Examples, benches, figure binaries
 //!
 //! * `cargo run --release --example quickstart` — end-to-end hybrid solve
-//!   (also `poisson1d`, `hhl_vs_qsvt`, `precision_tradeoff`,
-//!   `circuit_resources`).
+//!   (also `poisson1d`, `poisson1d_multirhs` — the batched multi-RHS
+//!   workload — `hhl_vs_qsvt`, `precision_tradeoff`, `circuit_resources`).
 //! * `cargo bench` — criterion micro-benchmarks of every substrate
 //!   (`crates/bench/benches/`).
 //! * `cargo run --release -p qls-bench --bin table1` — regenerate Table I;
@@ -79,8 +86,8 @@ pub mod prelude {
         HybridRefiner, HybridStatus, PoissonCostParameters, QsvtLinearSolver, QsvtSolverOptions,
     };
     pub use qls_encoding::{
-        BlockEncoding, BlockEncodingExt, DilationBlockEncoding, FableBlockEncoding,
-        LcuBlockEncoding, StatePreparation, TridiagBlockEncoding,
+        BlockEncoding, BlockEncodingExecutor, BlockEncodingExt, DilationBlockEncoding,
+        FableBlockEncoding, LcuBlockEncoding, StatePreparation, TridiagBlockEncoding,
     };
     pub use qls_linalg::generate::{
         random_matrix_with_cond, random_unit_vector, MatrixEnsemble, SingularValueDistribution,
@@ -92,7 +99,9 @@ pub mod prelude {
     };
     pub use qls_poly::{ChebyshevSeries, InversePolynomial};
     pub use qls_qsvt::{QsvtInverter, QsvtMode};
-    pub use qls_sim::{estimate_resources, Circuit, Gate, StateVector, TCountModel};
+    pub use qls_sim::{
+        estimate_resources, Circuit, Gate, QuantumExecutor, StateVector, TCountModel,
+    };
 
     pub use rand::SeedableRng;
 
