@@ -10,14 +10,17 @@
 //!    kernel path at the machine's full thread count for the parallel scaling
 //!    factor;
 //! 2. a full gate-level QSVT solve on the paper's 4-qubit (N = 16) test
-//!    system (Section IV experimental setup), through the **compile-once**
-//!    engine *and* through the retained uncached per-call path — their ratio
-//!    is the per-solve compile-once speedup;
+//!    system (Section IV experimental setup), through the **fused**
+//!    compile-once engine (the default `OptLevel::Fuse`), the unoptimized
+//!    compile-once engine (`OptLevel::None`) *and* the retained uncached
+//!    per-call path — their ratios are the gate-fusion and compile-once
+//!    speedups, and the `fusion_op_reduction` stat records how far the
+//!    optimizer shrinks the degree-d QSVT circuit;
 //! 3. dense-unitary extraction (`circuit_unitary`), the verification hot
 //!    loop;
 //! 4. an end-to-end hybrid refinement solve (Algorithm 2, circuit mode):
-//!    compile-once vs the recompile-per-iteration baseline, plus the
-//!    circuit-compile counts of each (from the thread-local
+//!    fused vs unfused compile-once vs the recompile-per-iteration baseline,
+//!    plus the circuit-compile counts (from the thread-local
 //!    `qls_sim::circuit_compile_count`);
 //! 5. the multi-RHS workload: one refiner, many right-hand sides — batched
 //!    (`HybridRefiner::solve_many`) vs a sequential loop of `solve`.
@@ -31,7 +34,7 @@ use qls_core::{HybridRefinementOptions, HybridRefiner, QsvtSolverOptions};
 use qls_linalg::Vector;
 use qls_qsvt::{QsvtInverter, QsvtMode};
 use qls_sim::kernels::reference;
-use qls_sim::{circuit_compile_count, circuit_unitary, StateVector};
+use qls_sim::{circuit_compile_count, circuit_unitary, OptLevel, StateVector};
 use rayon::ThreadPoolBuilder;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -154,14 +157,29 @@ fn main() {
     );
 
     // -- Workload 2: QSVT solve on the paper's test system ------------------
+    // Three engines: fused compile-once (the default), unoptimized
+    // compile-once (`OptLevel::None`), and the retained uncached per-call
+    // oracle.  `solve_seconds` keeps its historical meaning (unoptimized
+    // compile-once) so the perf trajectory stays comparable across PRs.
     let (a, b) = paper_test_system(preset.qsvt_n, preset.qsvt_kappa, 1);
     let build_start = Instant::now();
     let inverter = QsvtInverter::new(&a, preset.qsvt_eps, QsvtMode::CircuitReal)
         .expect("QSVT inverter construction");
     let qsvt_build = build_start.elapsed().as_secs_f64();
+    let unfused_inverter =
+        QsvtInverter::with_opt_level(&a, preset.qsvt_eps, QsvtMode::CircuitReal, OptLevel::None)
+            .expect("unfused QSVT inverter construction");
     let degree = inverter.resources().degree;
+    let fusion = *inverter.circuit_stats().expect("fusion stats");
+    let qsvt_solve_fused = time_min(3, || {
+        std::hint::black_box(inverter.solve_direction(&b).expect("fused QSVT solve"));
+    });
     let qsvt_solve = time_min(3, || {
-        std::hint::black_box(inverter.solve_direction(&b).expect("QSVT solve"));
+        std::hint::black_box(
+            unfused_inverter
+                .solve_direction(&b)
+                .expect("unfused QSVT solve"),
+        );
     });
     let qsvt_solve_uncached = time_min(3, || {
         std::hint::black_box(
@@ -171,11 +189,18 @@ fn main() {
         );
     });
     let qsvt_solve_speedup = qsvt_solve_uncached / qsvt_solve;
+    let qsvt_fused_speedup = qsvt_solve / qsvt_solve_fused;
     eprintln!(
         "  qsvt_solve n={} kappa={} eps={:.0e}: degree {degree}, build {qsvt_build:.4}s, \
-         compiled solve {qsvt_solve:.4}s, uncached {qsvt_solve_uncached:.4}s \
-         ({qsvt_solve_speedup:.1}x)",
-        preset.qsvt_n, preset.qsvt_kappa, preset.qsvt_eps
+         fused solve {qsvt_solve_fused:.4}s, unfused {qsvt_solve:.4}s \
+         ({qsvt_fused_speedup:.1}x fusion), uncached {qsvt_solve_uncached:.4}s \
+         ({qsvt_solve_speedup:.1}x compile-once); fusion {} -> {} ops ({:.1}x)",
+        preset.qsvt_n,
+        preset.qsvt_kappa,
+        preset.qsvt_eps,
+        fusion.raw_ops,
+        fusion.fused_ops,
+        fusion.op_reduction()
     );
 
     // -- Workload 3: dense-unitary extraction -------------------------------
@@ -189,35 +214,42 @@ fn main() {
     );
 
     // -- Workload 4: end-to-end hybrid refinement (Algorithm 2) -------------
-    // Compile-once (the QSVT circuit compiled in `new`, reused by every
-    // iteration) vs the retained recompile-per-iteration baseline.  Both
-    // refiners are built outside the timed region: the comparison isolates
-    // what the solve itself pays.
-    let refine_options = |recompile_baseline: bool| HybridRefinementOptions {
+    // Fused compile-once (the default: optimized QSVT circuit compiled in
+    // `new`, reused by every iteration) vs the unoptimized compile-once
+    // engine vs the retained recompile-per-iteration baseline.  All refiners
+    // are built outside the timed region: the comparison isolates what the
+    // solve itself pays.  `compile_once_seconds` keeps its historical
+    // meaning (unoptimized compile-once).
+    let refine_options = |opt_level: OptLevel, recompile_baseline: bool| HybridRefinementOptions {
         target_epsilon: preset.refine_target,
         epsilon_l: preset.qsvt_eps,
         solver: QsvtSolverOptions {
             mode: QsvtMode::CircuitReal,
+            opt_level,
             recompile_baseline,
             ..Default::default()
         },
         ..Default::default()
     };
-    let compile_once_refiner =
-        HybridRefiner::new(&a, refine_options(false)).expect("compile-once refiner");
+    let fused_refiner =
+        HybridRefiner::new(&a, refine_options(OptLevel::Fuse, false)).expect("fused refiner");
+    let compile_once_refiner = HybridRefiner::new(&a, refine_options(OptLevel::None, false))
+        .expect("compile-once refiner");
     let recompile_refiner =
-        HybridRefiner::new(&a, refine_options(true)).expect("recompile refiner");
+        HybridRefiner::new(&a, refine_options(OptLevel::None, true)).expect("recompile refiner");
     let mut rng = experiment_rng(2);
-    let (_, history) = compile_once_refiner
-        .solve(&b, &mut rng)
-        .expect("refinement solve");
+    let (_, history) = fused_refiner.solve(&b, &mut rng).expect("refinement solve");
     let refine_iterations = history.iterations();
     let compiles_before = circuit_compile_count();
-    let _ = compile_once_refiner.solve(&b, &mut rng).expect("solve");
+    let _ = fused_refiner.solve(&b, &mut rng).expect("solve");
     let compile_once_compiles = circuit_compile_count() - compiles_before;
     let compiles_before = circuit_compile_count();
     let _ = recompile_refiner.solve(&b, &mut rng).expect("solve");
     let recompile_compiles = circuit_compile_count() - compiles_before;
+    let refine_fused = time_min(preset.refine_reps, || {
+        let mut rng = experiment_rng(3);
+        std::hint::black_box(fused_refiner.solve(&b, &mut rng).expect("solve"));
+    });
     let refine_compile_once = time_min(preset.refine_reps, || {
         let mut rng = experiment_rng(3);
         std::hint::black_box(compile_once_refiner.solve(&b, &mut rng).expect("solve"));
@@ -227,11 +259,14 @@ fn main() {
         std::hint::black_box(recompile_refiner.solve(&b, &mut rng).expect("solve"));
     });
     let refine_speedup = refine_recompile / refine_compile_once;
+    let refine_fused_speedup = refine_compile_once / refine_fused;
     eprintln!(
         "  hybrid_refinement n={} kappa={} eps_l={:.0e} target={:.0e}: \
-         {refine_iterations} iterations, compile-once {refine_compile_once:.4}s \
-         ({compile_once_compiles} circuit compiles), recompile {refine_recompile:.4}s \
-         ({recompile_compiles} compiles) — {refine_speedup:.1}x",
+         {refine_iterations} iterations, fused {refine_fused:.4}s \
+         ({refine_fused_speedup:.1}x over unfused, {compile_once_compiles} circuit compiles \
+         in the loop), unfused compile-once {refine_compile_once:.4}s, \
+         recompile {refine_recompile:.4}s ({recompile_compiles} compiles) — \
+         {refine_speedup:.1}x compile-once",
         preset.qsvt_n, preset.qsvt_kappa, preset.qsvt_eps, preset.refine_target
     );
 
@@ -245,7 +280,7 @@ fn main() {
     let batched_secs = time_min(preset.refine_reps, || {
         let mut rng = experiment_rng(5);
         std::hint::black_box(
-            compile_once_refiner
+            fused_refiner
                 .solve_many(&bs, &mut rng)
                 .expect("batched solve"),
         );
@@ -253,7 +288,7 @@ fn main() {
     let sequential_secs = time_min(preset.refine_reps, || {
         let mut rng = experiment_rng(5);
         for b in &bs {
-            std::hint::black_box(compile_once_refiner.solve(b, &mut rng).expect("solve"));
+            std::hint::black_box(fused_refiner.solve(b, &mut rng).expect("solve"));
         }
     });
     let batch_speedup = sequential_secs / batched_secs;
@@ -295,8 +330,13 @@ fn main() {
       "polynomial_degree": {degree},
       "build_seconds": {qsvt_build:.6},
       "solve_seconds": {qsvt_solve:.6},
+      "fused_solve_seconds": {qsvt_solve_fused:.6},
+      "fused_vs_unfused_speedup": {qsvt_fused_speedup:.3},
       "uncached_solve_seconds": {qsvt_solve_uncached:.6},
-      "compile_once_vs_uncached_speedup": {qsvt_solve_speedup:.3}
+      "compile_once_vs_uncached_speedup": {qsvt_solve_speedup:.3},
+      "raw_circuit_ops": {fusion_raw_ops},
+      "fused_circuit_ops": {fusion_fused_ops},
+      "fusion_op_reduction": {fusion_op_reduction:.3}
     }},
     {{
       "name": "circuit_unitary",
@@ -312,6 +352,8 @@ fn main() {
       "target_epsilon": {refine_target:e},
       "iterations": {refine_iterations},
       "compile_once_seconds": {refine_compile_once:.6},
+      "fused_solve_seconds": {refine_fused:.6},
+      "fused_vs_unfused_speedup": {refine_fused_speedup:.3},
       "recompile_seconds": {refine_recompile:.6},
       "compile_once_vs_recompile_speedup": {refine_speedup:.3},
       "compile_once_circuit_compiles": {compile_once_compiles},
@@ -337,6 +379,9 @@ fn main() {
         ul = preset.unitary_layers,
         refine_target = preset.refine_target,
         multi_rhs = preset.multi_rhs,
+        fusion_raw_ops = fusion.raw_ops,
+        fusion_fused_ops = fusion.fused_ops,
+        fusion_op_reduction = fusion.op_reduction(),
     );
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     eprintln!("bench_json: wrote {out_path}");

@@ -81,6 +81,19 @@ fn main() {
         be.num_ancilla_qubits(),
         be.alpha()
     );
+    // Simulation-side cost of the same circuit: what the optimizer pass of
+    // `qls_sim::fuse` does to the op count and per-application sweep work.
+    let fusion = qls_sim::fusion_stats(be.circuit());
+    println!(
+        "  simulator fusion: {} raw -> {} fused ops ({:.1}x), \
+         sweep work {} -> {} multiplies ({:.1}x)",
+        fusion.raw_ops,
+        fusion.fused_ops,
+        fusion.op_reduction(),
+        fusion.raw_sweep_work,
+        fusion.fused_sweep_work,
+        fusion.work_reduction()
+    );
     println!("\nThe per-iteration rows show that only state preparation and the solution");
     println!("recovery touch the CPU once the block-encoding and the phases have been");
     println!("compiled and transferred (they are reused across iterations).");

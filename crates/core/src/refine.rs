@@ -600,6 +600,37 @@ mod tests {
     }
 
     #[test]
+    fn fused_refinement_agrees_with_unfused_refinement() {
+        // The whole refinement loop on the optimized (fused) QSVT circuit vs
+        // the unoptimized compile-once engine: same convergence history,
+        // same solution to well below the target accuracy.
+        let (a, b) = system(2.0, 4, 161);
+        let make = |opt_level: qls_sim::OptLevel| HybridRefinementOptions {
+            target_epsilon: 1e-8,
+            epsilon_l: 0.05,
+            solver: crate::solver::QsvtSolverOptions {
+                mode: qls_qsvt::QsvtMode::CircuitReal,
+                opt_level,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(20);
+        let (x_fused, h_fused) = HybridRefiner::new(&a, make(qls_sim::OptLevel::Fuse))
+            .unwrap()
+            .solve(&b, &mut rng)
+            .unwrap();
+        let (x_raw, h_raw) = HybridRefiner::new(&a, make(qls_sim::OptLevel::None))
+            .unwrap()
+            .solve(&b, &mut rng)
+            .unwrap();
+        assert_eq!(h_fused.status, h_raw.status);
+        assert_eq!(h_fused.steps.len(), h_raw.steps.len());
+        let rel = (&x_fused - &x_raw).norm2() / x_raw.norm2();
+        assert!(rel < 1e-10, "fused and unfused refinement diverge by {rel}");
+    }
+
+    #[test]
     fn solve_many_matches_sequential_solves() {
         let (a, _) = system(10.0, 16, 160);
         let mut rng = ChaCha8Rng::seed_from_u64(19);

@@ -18,7 +18,7 @@
 use qls_encoding::StatePreparation;
 use qls_linalg::{brent_minimize, scaled_residual, Matrix, Vector};
 use qls_qsvt::{QsvtError, QsvtInverter, QsvtMode, QsvtResources};
-use qls_sim::shots_for_accuracy;
+use qls_sim::{shots_for_accuracy, OptLevel};
 use rand::Rng;
 use serde::Serialize;
 
@@ -35,6 +35,12 @@ pub struct QsvtSolverOptions {
     pub shots: Option<usize>,
     /// Iteration/evaluation budget of the Brent norm-recovery step.
     pub brent_tolerance: f64,
+    /// Circuit-optimization level of the compiled QSVT circuit (circuit mode
+    /// only): the default `OptLevel::Fuse` runs gate fusion + diagonal
+    /// merging before compiling; `OptLevel::None` keeps the compiled form
+    /// one-op-per-gate (the unoptimized compile-once baseline the perf
+    /// trajectory measures fusion against).
+    pub opt_level: OptLevel,
     /// Perf-trajectory baseline switch: when `true`, every solve applies the
     /// QSVT circuit through the **uncached** pre-compile-once path
     /// (`QsvtInverter::solve_direction_uncached` — the circuit is recompiled
@@ -52,6 +58,7 @@ impl Default for QsvtSolverOptions {
             mode: QsvtMode::Emulation,
             shots: None,
             brent_tolerance: 1e-12,
+            opt_level: OptLevel::default(),
             recompile_baseline: false,
         }
     }
@@ -108,9 +115,10 @@ pub struct QsvtLinearSolver {
 
 impl QsvtLinearSolver {
     /// Prepare the solver (builds the inverse polynomial and, in circuit mode,
-    /// the phase factors and the QSVT circuit).
+    /// the phase factors and the optimized, compiled-once QSVT circuit).
     pub fn new(a: &Matrix<f64>, options: QsvtSolverOptions) -> Result<Self, QsvtError> {
-        let inverter = QsvtInverter::new(a, options.epsilon_l, options.mode)?;
+        let inverter =
+            QsvtInverter::with_opt_level(a, options.epsilon_l, options.mode, options.opt_level)?;
         Ok(QsvtLinearSolver {
             matrix: a.clone(),
             inverter,
@@ -131,6 +139,12 @@ impl QsvtLinearSolver {
     /// Quantum-side resource description (degree, block-encoding calls, …).
     pub fn quantum_resources(&self) -> QsvtResources {
         self.inverter.resources()
+    }
+
+    /// The circuit-optimizer's before/after report for the compiled QSVT
+    /// circuit (`Some` only in circuit mode with fusion on).
+    pub fn circuit_stats(&self) -> Option<&qls_sim::CircuitStats> {
+        self.inverter.circuit_stats()
     }
 
     /// Solve `A x = b` once at accuracy ε_l.  `rng` is only used when shot

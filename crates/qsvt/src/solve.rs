@@ -24,7 +24,10 @@ use num_complex::Complex64;
 use qls_encoding::DilationBlockEncoding;
 use qls_linalg::{Matrix, Svd, Vector};
 use qls_poly::InversePolynomial;
-use qls_sim::{estimate_resources, QuantumExecutor, ResourceEstimate, StateVector, TCountModel};
+use qls_sim::{
+    estimate_resources, CircuitStats, OptLevel, QuantumExecutor, ResourceEstimate, StateVector,
+    TCountModel,
+};
 use serde::Serialize;
 
 /// How the QSVT output is produced.
@@ -104,8 +107,24 @@ pub struct QsvtInverter {
 
 impl QsvtInverter {
     /// Prepare a QSVT inversion of `a` with target solver accuracy `epsilon_l`
-    /// (relative error on the solution direction).
+    /// (relative error on the solution direction).  In circuit mode the QSVT
+    /// circuit is optimized (gate fusion + diagonal merging, the default
+    /// [`OptLevel::Fuse`]) and compiled exactly once.
     pub fn new(a: &Matrix<f64>, epsilon_l: f64, mode: QsvtMode) -> Result<Self, QsvtError> {
+        Self::with_opt_level(a, epsilon_l, mode, OptLevel::default())
+    }
+
+    /// [`QsvtInverter::new`] at an explicit circuit-optimization level.
+    /// `OptLevel::None` compiles the QSVT gate list one-to-one — the
+    /// unoptimized compile-once baseline `bench_json` measures fusion
+    /// against (the fully uncached pre-engine path is
+    /// [`QsvtInverter::solve_direction_uncached`]).
+    pub fn with_opt_level(
+        a: &Matrix<f64>,
+        epsilon_l: f64,
+        mode: QsvtMode,
+        opt_level: OptLevel,
+    ) -> Result<Self, QsvtError> {
         assert!(a.is_square(), "QSVT inversion needs a square matrix");
         assert!(
             epsilon_l > 0.0 && epsilon_l < 1.0,
@@ -133,9 +152,9 @@ impl QsvtInverter {
                 .map_err(QsvtError::Phases)?;
             let be = DilationBlockEncoding::of_adjoint(a, alpha);
             let qsvt = QsvtCircuit::with_real_part_extraction(&be, &phases.phases);
-            // Compile exactly once; every solve_direction call (single or
-            // batched) reuses this compiled artefact.
-            let executor = QuantumExecutor::new(qsvt.circuit());
+            // Optimize + compile exactly once; every solve_direction call
+            // (single or batched) reuses this compiled artefact.
+            let executor = QuantumExecutor::with_options(qsvt.circuit(), opt_level);
             let n = qsvt.num_data_qubits();
             let total = n + qsvt.num_ancilla_qubits();
             Some(CircuitArtefacts {
@@ -194,6 +213,13 @@ impl QsvtInverter {
     /// construction — but benches and diagnostics can still inspect it.
     pub fn qsvt_circuit(&self) -> Option<&QsvtCircuit> {
         self.circuit.as_ref().map(|art| &art.qsvt)
+    }
+
+    /// The optimizer's before/after report for the compiled QSVT circuit
+    /// (`Some` only in circuit mode with fusion on): raw vs fused op counts
+    /// and estimated sweep work.
+    pub fn circuit_stats(&self) -> Option<&CircuitStats> {
+        self.circuit.as_ref().and_then(|art| art.executor.stats())
     }
 
     /// Resource accounting for one solve.
@@ -494,6 +520,41 @@ mod tests {
                 (&dir_fast - &dir_slow).norm2()
             );
             assert!((succ_fast - succ_slow).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fused_circuit_halves_op_count_and_matches_unfused_solver() {
+        // The optimizer must collapse the real QSVT inversion circuit
+        // (projector-phase blocks fuse into the block-encoding products) by
+        // at least 2x, and the fused solve must agree with both the
+        // unoptimized compile-once engine and the fully uncached oracle.
+        for seed in [137, 141] {
+            let (a, b) = test_system(2.0, 4, seed);
+            let fused = QsvtInverter::new(&a, 0.05, QsvtMode::CircuitReal).unwrap();
+            let stats = fused.circuit_stats().expect("fusion stats in circuit mode");
+            assert!(
+                stats.op_reduction() >= 2.0,
+                "seed {seed}: expected >= 2x op reduction on the QSVT circuit, got {:.2}x \
+                 ({} -> {} ops)",
+                stats.op_reduction(),
+                stats.raw_ops,
+                stats.fused_ops
+            );
+            let unfused =
+                QsvtInverter::with_opt_level(&a, 0.05, QsvtMode::CircuitReal, OptLevel::None)
+                    .unwrap();
+            assert!(unfused.circuit_stats().is_none());
+            let (dir_fused, succ_fused) = fused.solve_direction(&b).unwrap();
+            let (dir_raw, succ_raw) = unfused.solve_direction(&b).unwrap();
+            let (dir_oracle, _) = fused.solve_direction_uncached(&b).unwrap();
+            assert!(
+                (&dir_fused - &dir_raw).norm2() < 1e-12,
+                "seed {seed}: fused vs unfused directions differ by {}",
+                (&dir_fused - &dir_raw).norm2()
+            );
+            assert!((succ_fused - succ_raw).abs() < 1e-12);
+            assert!((&dir_fused - &dir_oracle).norm2() < 1e-12);
         }
     }
 

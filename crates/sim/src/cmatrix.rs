@@ -178,6 +178,28 @@ impl CMatrix {
             .fold(0.0, f64::max)
     }
 
+    /// The diagonal entries when the matrix is *exactly* diagonal (every
+    /// off-diagonal entry equals zero bit-for-bit), `None` otherwise.
+    ///
+    /// The exactness matters to the callers: the gate compiler and the fusion
+    /// pass use this to route computational-basis-diagonal operations to the
+    /// one-multiply-per-amplitude diagonal kernels, which is only valid when
+    /// the off-diagonal part is truly absent (no tolerance).
+    pub fn diagonal(&self) -> Option<Vec<Complex64>> {
+        if self.rows != self.cols {
+            return None;
+        }
+        let zero = Complex64::new(0.0, 0.0);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if r != c && self[(r, c)] != zero {
+                    return None;
+                }
+            }
+        }
+        Some((0..self.rows).map(|i| self[(i, i)]).collect())
+    }
+
     /// Frobenius norm.
     pub fn norm_frobenius(&self) -> f64 {
         self.data.iter().map(|c| c.norm_sqr()).sum::<f64>().sqrt()

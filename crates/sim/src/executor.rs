@@ -20,42 +20,115 @@
 //!   occurs and results stay bit-identical to a sequential loop of
 //!   [`run`](QuantumExecutor::run) at any thread count.
 //!
+//! ## Optimization
+//!
+//! Construction runs the circuit-optimizer pass of [`crate::fuse`] by
+//! default ([`OptLevel::Fuse`]): adjacent gates fuse into denser sweeps and
+//! diagonal chains merge before compilation, so every subsequent execution
+//! pays fewer kernel dispatches for the same unitary (to ≲ 1e-13 roundoff).
+//! [`OptLevel::None`] compiles the operation list exactly as written — the
+//! equivalence oracle and perf baseline, in the same spirit as
+//! `kernels::reference`.  Pick `Fuse` whenever a circuit is executed more
+//! than a handful of times (the optimizer costs less than one execution on
+//! realistic circuits); pick `None` when you need the compiled form to
+//! mirror the gate list one-to-one (oracle tests, per-gate instrumentation).
+//!
 //! ## Caching contract
 //!
-//! Construction compiles; execution never does.  The thread-local
-//! [`crate::kernels::circuit_compile_count`] makes the contract testable:
-//! wrap any `run`/`run_batch` region with it and the count must not move.
+//! Construction compiles (and optimizes); execution never does.  The
+//! thread-local [`crate::kernels::circuit_compile_count`] makes the contract
+//! testable: wrap any `run`/`run_batch` region with it and the count must
+//! not move.
 
 use crate::circuit::Circuit;
+use crate::fuse::{CircuitStats, FusionOptions};
 use crate::kernels::{CompiledCircuit, PARALLEL_WORK_THRESHOLD};
 use crate::state::StateVector;
 use rayon::prelude::*;
+
+/// How aggressively the executor rewrites a circuit before compiling it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// Compile the operation list as-is (one [`CompiledOp`] per gate).  The
+    /// unoptimized oracle/baseline path.
+    ///
+    /// [`CompiledOp`]: crate::kernels::CompiledOp
+    None,
+    /// Run gate fusion + diagonal merging ([`crate::fuse`], default
+    /// [`FusionOptions`]) before compiling.  The default.
+    #[default]
+    Fuse,
+}
 
 /// A circuit compiled once and executable many times, single or batched.
 #[derive(Debug, Clone)]
 pub struct QuantumExecutor {
     compiled: CompiledCircuit,
+    opt_level: OptLevel,
+    /// Before/after fusion report (`None` for [`OptLevel::None`] and for
+    /// [`QuantumExecutor::from_compiled`]).
+    stats: Option<CircuitStats>,
 }
 
 impl QuantumExecutor {
-    /// Compile `circuit` once for its own register width.
+    /// Optimize (default [`OptLevel::Fuse`]) and compile `circuit` once for
+    /// its own register width.
     pub fn new(circuit: &Circuit) -> Self {
-        QuantumExecutor {
-            compiled: CompiledCircuit::compile(circuit),
-        }
+        Self::with_options(circuit, OptLevel::default())
+    }
+
+    /// Compile `circuit` once at an explicit [`OptLevel`].
+    pub fn with_options(circuit: &Circuit, opt_level: OptLevel) -> Self {
+        Self::for_register_with_options(circuit, circuit.num_qubits(), opt_level)
     }
 
     /// Compile `circuit` once for a register of `num_qubits` (≥ the circuit's
     /// width), so the compiled form can run on a larger register directly.
     pub fn for_register(circuit: &Circuit, num_qubits: usize) -> Self {
-        QuantumExecutor {
-            compiled: CompiledCircuit::compile_for(circuit, num_qubits),
+        Self::for_register_with_options(circuit, num_qubits, OptLevel::default())
+    }
+
+    /// [`QuantumExecutor::for_register`] at an explicit [`OptLevel`].
+    pub fn for_register_with_options(
+        circuit: &Circuit,
+        num_qubits: usize,
+        opt_level: OptLevel,
+    ) -> Self {
+        match opt_level {
+            OptLevel::None => QuantumExecutor {
+                compiled: CompiledCircuit::compile_for(circuit, num_qubits),
+                opt_level,
+                stats: None,
+            },
+            OptLevel::Fuse => {
+                let (compiled, stats) =
+                    CompiledCircuit::optimized_with(circuit, num_qubits, &FusionOptions::default());
+                QuantumExecutor {
+                    compiled,
+                    opt_level,
+                    stats: Some(stats),
+                }
+            }
         }
     }
 
     /// Wrap an already-compiled circuit.
     pub fn from_compiled(compiled: CompiledCircuit) -> Self {
-        QuantumExecutor { compiled }
+        QuantumExecutor {
+            compiled,
+            opt_level: OptLevel::None,
+            stats: None,
+        }
+    }
+
+    /// The optimization level the engine was built with.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt_level
+    }
+
+    /// The before/after fusion report (`Some` iff the optimizer ran).
+    pub fn stats(&self) -> Option<&CircuitStats> {
+        self.stats.as_ref()
     }
 
     /// Register width the engine was compiled for.
@@ -149,14 +222,29 @@ mod tests {
         circ
     }
 
+    fn max_diff(a: &StateVector, b: &StateVector) -> f64 {
+        a.amplitudes()
+            .iter()
+            .zip(b.amplitudes())
+            .map(|(x, y)| (x - y).norm())
+            .fold(0.0, f64::max)
+    }
+
     #[test]
     fn run_matches_apply_circuit() {
         let circ = test_circuit(5);
+        // The default (fused) engine agrees to roundoff; the unoptimized
+        // engine is the same float-for-float computation as apply_circuit.
         let exec = QuantumExecutor::new(&circ);
-        let via_exec = exec.run_zero();
         let mut via_state = StateVector::zero_state(5);
         via_state.apply_circuit(&circ);
-        assert_eq!(via_exec.amplitudes(), via_state.amplitudes());
+        assert!(max_diff(&exec.run_zero(), &via_state) < 1e-12);
+        let raw = QuantumExecutor::with_options(&circ, OptLevel::None);
+        assert_eq!(raw.run_zero().amplitudes(), via_state.amplitudes());
+        assert_eq!(raw.opt_level(), OptLevel::None);
+        assert!(raw.stats().is_none());
+        assert_eq!(exec.opt_level(), OptLevel::Fuse);
+        assert!(exec.stats().unwrap().fused_ops <= exec.stats().unwrap().raw_ops);
     }
 
     #[test]
@@ -198,7 +286,7 @@ mod tests {
         let out = exec.run_zero();
         let mut direct = StateVector::zero_state(5);
         direct.apply_circuit(&circ);
-        assert_eq!(out.amplitudes(), direct.amplitudes());
+        assert!(max_diff(&out, &direct) < 1e-12);
     }
 
     #[test]
@@ -206,6 +294,10 @@ mod tests {
         let exec = QuantumExecutor::new(&test_circuit(2));
         exec.run_batch(&mut []);
         assert!(!exec.is_empty());
-        assert_eq!(exec.len(), 1 + 1 + 3 + 1); // h + cx + ry/rz/t + phase
+        // h + cx survive (mismatched controls block fusion); ry(0) and the
+        // rz/t/phase chain on qubit 1 fuse into one 2-qubit dense op.
+        assert_eq!(exec.len(), 3);
+        let raw = QuantumExecutor::with_options(&test_circuit(2), OptLevel::None);
+        assert_eq!(raw.len(), 1 + 1 + 3 + 1); // h + cx + ry/rz/t + phase
     }
 }

@@ -1,0 +1,723 @@
+//! Circuit-optimizer pass: gate fusion and diagonal merging.
+//!
+//! The compiled kernels of [`crate::kernels`] make each *individual* gate as
+//! cheap as it can be, but a circuit of `m` gates still performs `m` sweeps
+//! over the `2^n`-amplitude register.  This module rewrites the operation
+//! list *before* compilation so repeated executions pay fewer, denser sweeps:
+//!
+//! 1. **Dense fusion.**  Runs of adjacent gates whose combined *target*
+//!    support stays within [`FusionOptions::max_fused_qubits`] qubits
+//!    (default 3) are fused into one dense operation by multiplying their
+//!    embedded matrices.  Fusion is always allowed — regardless of the cap —
+//!    when one operation's targets are a subset of the other's, because the
+//!    fused op is no larger than what the circuit already contained (this is
+//!    what lets a deep QSVT sequence collapse into its block-encoding-sized
+//!    product).
+//! 2. **Diagonal merging.**  Operations that are diagonal in the
+//!    computational basis (`Z`/`S`/`T`/`Rz`/`Phase`/`GlobalPhase`, their
+//!    controlled forms, and any diagonal `Gate::Unitary`) multiply entrywise,
+//!    so chains of them — even on *different* qubits and with *different*
+//!    control sets — merge into a single diagonal of support up to
+//!    [`FusionOptions::max_diagonal_qubits`].  A controlled diagonal is
+//!    itself a diagonal, so mismatched control masks fold into the table.
+//! 3. **Controlled fusion.**  Controlled operations fuse whenever their
+//!    control sets match: both act as the identity outside the
+//!    control-satisfied subspace and compose inside it, so the fused op keeps
+//!    the (cheaper) controlled kernel enumeration.
+//! 4. **Cleanup.**  Identities (including fusion products that cancel to the
+//!    identity, e.g. the `X … X` conjugation pairs of projector rotations)
+//!    are dropped, and diagonal factors that do not depend on one of their
+//!    qubits are pruned down to their true support.
+//!
+//! The pass is a single greedy sweep: each incoming operation looks backwards
+//! through the last [`FusionOptions::lookback`] emitted segments, hopping
+//! over segments it commutes with (disjoint support, or both diagonal), and
+//! fuses into the first compatible one.  Each candidate fusion is priced on
+//! this circuit's register before it is accepted: a fusion that would *raise*
+//! the estimated sweep cost by more than the saved per-op overhead
+//! ([`FusionOptions::op_overhead_cost`]) is rejected, so cheap structured
+//! sweeps survive on large registers where arithmetic dominates dispatch,
+//! while small solver registers (dispatch-dominated) and cost-neutral fusions
+//! (nested or equal targets — the QSVT collapse) fuse at any size.
+//! Everything is plain matrix algebra on supports of at most a handful of
+//! qubits, *independent of the register size*: the pass costs the equivalent
+//! of a few dozen executions at worst (deep circuits collapsing into dense
+//! products, e.g. the degree-117 QSVT sequence), repaid across the
+//! many-execution workloads the compile-once engines exist for — and far
+//! less than one execution on large registers, where it mostly declines to
+//! fuse.
+//!
+//! Use [`optimize_circuit`] directly, or (more commonly)
+//! [`CompiledCircuit::optimized`](crate::kernels::CompiledCircuit::optimized)
+//! / [`OptLevel::Fuse`](crate::executor::OptLevel) on
+//! [`QuantumExecutor`](crate::executor::QuantumExecutor), which also report
+//! the before/after [`CircuitStats`].  The unoptimized compile path is
+//! retained as the equivalence oracle (`OptLevel::None`, mirroring
+//! `kernels::reference`): optimized execution agrees with it to 1e-12 on the
+//! property tests in `crates/sim/tests/fusion_equivalence.rs`.
+
+use crate::circuit::{Circuit, Operation};
+use crate::cmatrix::CMatrix;
+use crate::gate::Gate;
+use num_complex::Complex64;
+use serde::Serialize;
+
+const ZERO: Complex64 = Complex64::new(0.0, 0.0);
+const ONE: Complex64 = Complex64::new(1.0, 0.0);
+
+/// Tuning knobs of the fusion pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusionOptions {
+    /// Combined-target cap `K` for dense fusion: two dense ops fuse only when
+    /// the union of their targets has at most this many qubits (cost of the
+    /// fused generic kernel grows as `4^K` per block, so small caps win).
+    /// Ops whose targets nest (subset) always fuse, whatever the cap.
+    pub max_fused_qubits: usize,
+    /// Support cap for merged diagonals.  A diagonal sweep costs one multiply
+    /// per amplitude regardless of support, so this can sit well above
+    /// `max_fused_qubits`; it only bounds the `2^k` table size.
+    pub max_diagonal_qubits: usize,
+    /// How many already-emitted segments an incoming op may scan backwards
+    /// (hopping over commuting segments) to find a fusion partner.
+    pub lookback: usize,
+    /// Fixed cost of one operation application, in complex-multiply
+    /// equivalents (dispatch, bounds checks, loop setup, and one more full
+    /// pass over the memory-resident state).  A fusion is accepted only when
+    /// `sweep_cost(fused) ≤ sweep_cost(a) + sweep_cost(b) + op_overhead_cost`
+    /// on this circuit's register, so cheap structured sweeps (X, SWAP,
+    /// phase, single-qubit pairs) are *not* densified into `4^k`-multiply
+    /// generic blocks on registers large enough that the extra arithmetic
+    /// outweighs the saved dispatch.  Nested-target and equal-target fusions
+    /// never increase the sweep cost, so they pass at any register size.
+    pub op_overhead_cost: usize,
+}
+
+impl Default for FusionOptions {
+    fn default() -> Self {
+        FusionOptions {
+            max_fused_qubits: 3,
+            max_diagonal_qubits: 6,
+            lookback: 16,
+            op_overhead_cost: 512,
+        }
+    }
+}
+
+/// Before/after report of one optimization run.
+///
+/// "Sweep work" is the same quantity the kernels' parallel-fan-out decision
+/// uses ([`crate::kernels::CompiledOp::work_estimate`]): free-index count ×
+/// per-iteration cost, summed over the circuit — an estimate of the complex
+/// multiplies one full application performs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CircuitStats {
+    /// Operation count of the raw circuit.
+    pub raw_ops: usize,
+    /// Operation count after fusion.
+    pub fused_ops: usize,
+    /// Estimated complex multiplies per application of the raw circuit.
+    pub raw_sweep_work: usize,
+    /// Estimated complex multiplies per application after fusion.
+    pub fused_sweep_work: usize,
+}
+
+impl CircuitStats {
+    /// Raw-to-fused op-count ratio (≥ 1 in practice; the pass never splits).
+    pub fn op_reduction(&self) -> f64 {
+        ratio(self.raw_ops, self.fused_ops)
+    }
+
+    /// Raw-to-fused estimated-sweep-work ratio.
+    pub fn work_reduction(&self) -> f64 {
+        ratio(self.raw_sweep_work, self.fused_sweep_work)
+    }
+}
+
+fn ratio(raw: usize, fused: usize) -> f64 {
+    if fused == 0 {
+        if raw == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        raw as f64 / fused as f64
+    }
+}
+
+/// How a segment acts on its targets.
+#[derive(Debug, Clone)]
+enum Body {
+    /// Dense `2^k × 2^k` matrix (row/column bit `t` ↔ `targets[t]`).
+    Dense(CMatrix),
+    /// Diagonal of a computational-basis-diagonal op (`2^k` entries).
+    Diag(Vec<Complex64>),
+}
+
+/// One (possibly fused) operation in the optimizer's working list.
+#[derive(Debug, Clone)]
+struct Segment {
+    /// Control qubits, sorted ascending.
+    controls: Vec<usize>,
+    /// Target qubits, sorted ascending.
+    targets: Vec<usize>,
+    body: Body,
+    /// The original operation when the segment is still exactly that op
+    /// (so emission preserves the specialized `X`/`SWAP`/named-gate kernels
+    /// for everything the pass never touched).
+    pristine: Option<Operation>,
+}
+
+fn union_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out: Vec<usize> = a.iter().chain(b).copied().collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn disjoint(a: &[usize], b: &[usize]) -> bool {
+    a.iter().all(|q| !b.contains(q))
+}
+
+/// Position of every element of `sub` inside `sup` (both sorted, `sub ⊆ sup`).
+fn positions(sub: &[usize], sup: &[usize]) -> Vec<usize> {
+    sub.iter()
+        .map(|q| sup.iter().position(|x| x == q).expect("subset of support"))
+        .collect()
+}
+
+/// Gather the bits of `idx` at `pos` into a compact sub-index.
+fn gather_bits(idx: usize, pos: &[usize]) -> usize {
+    pos.iter()
+        .enumerate()
+        .fold(0usize, |acc, (t, &p)| acc | (((idx >> p) & 1) << t))
+}
+
+/// Re-express a diagonal table from support `from` on the larger support `to`.
+fn embed_table(table: &[Complex64], from: &[usize], to: &[usize]) -> Vec<Complex64> {
+    let pos = positions(from, to);
+    (0..1usize << to.len())
+        .map(|j| table[gather_bits(j, &pos)])
+        .collect()
+}
+
+/// Re-express a dense matrix from support `from` on the larger support `to`
+/// (tensoring with the identity on the added qubits).
+fn embed_dense(m: &CMatrix, from: &[usize], to: &[usize]) -> CMatrix {
+    if from == to {
+        return m.clone();
+    }
+    let pos = positions(from, to);
+    let from_mask: usize = pos.iter().map(|&p| 1usize << p).sum();
+    let dim = 1usize << to.len();
+    CMatrix::from_fn(dim, dim, |r, c| {
+        if (r ^ c) & !from_mask != 0 {
+            ZERO
+        } else {
+            m[(gather_bits(r, &pos), gather_bits(c, &pos))]
+        }
+    })
+}
+
+/// The segment's body as a dense matrix on its own targets.
+fn dense_of(seg: &Segment) -> CMatrix {
+    match &seg.body {
+        Body::Dense(m) => m.clone(),
+        Body::Diag(d) => {
+            CMatrix::from_fn(d.len(), d.len(), |r, c| if r == c { d[r] } else { ZERO })
+        }
+    }
+}
+
+/// A controlled diagonal re-expressed as an *uncontrolled* diagonal over
+/// `controls ∪ targets` (entries are 1 wherever a control bit is 0).
+fn full_diag_table(seg: &Segment) -> (Vec<usize>, Vec<Complex64>) {
+    let Body::Diag(d) = &seg.body else {
+        unreachable!("full_diag_table is only called on diagonal segments")
+    };
+    let qubits = union_sorted(&seg.controls, &seg.targets);
+    let cmask: usize = positions(&seg.controls, &qubits)
+        .iter()
+        .map(|&p| 1usize << p)
+        .sum();
+    let tpos = positions(&seg.targets, &qubits);
+    let table = (0..1usize << qubits.len())
+        .map(|j| {
+            if j & cmask == cmask {
+                d[gather_bits(j, &tpos)]
+            } else {
+                ONE
+            }
+        })
+        .collect();
+    (qubits, table)
+}
+
+/// Turn one raw operation into a segment; `None` drops it (identity).
+fn segment_of(op: &Operation) -> Option<Segment> {
+    if matches!(op.gate, Gate::I) {
+        return None;
+    }
+    let mut controls = op.controls.clone();
+    controls.sort_unstable();
+    let (targets, matrix) = sorted_targets_matrix(op);
+    let body = match matrix.diagonal() {
+        Some(d) => Body::Diag(d),
+        None => Body::Dense(matrix),
+    };
+    simplify(Segment {
+        controls,
+        targets,
+        body,
+        pristine: Some(op.clone()),
+    })
+}
+
+/// The gate matrix re-indexed so bit `t` of the sub-index corresponds to the
+/// `t`-th *ascending* target qubit.
+fn sorted_targets_matrix(op: &Operation) -> (Vec<usize>, CMatrix) {
+    let m = op.gate.matrix();
+    let mut targets = op.targets.clone();
+    targets.sort_unstable();
+    if targets == op.targets {
+        return (targets, m);
+    }
+    let pos = positions(&targets, &op.targets);
+    let dim = m.nrows();
+    let map = |j: usize| gather_bits_scatter(j, &pos);
+    let sorted = CMatrix::from_fn(dim, dim, |r, c| m[(map(r), map(c))]);
+    (targets, sorted)
+}
+
+/// Scatter the bits of a (sorted-order) sub-index `j` back to the original
+/// target order: bit `t` of `j` lands at position `pos[t]`.
+fn gather_bits_scatter(j: usize, pos: &[usize]) -> usize {
+    pos.iter()
+        .enumerate()
+        .fold(0usize, |acc, (t, &p)| acc | (((j >> t) & 1) << p))
+}
+
+/// Canonicalize a segment: recognise diagonals, prune qubits the body does
+/// not depend on, and drop exact identities entirely (`None`).
+fn simplify(mut seg: Segment) -> Option<Segment> {
+    // A dense fusion product that came out diagonal joins the diagonal class
+    // (cheaper kernel, wider mergeability).
+    if let Body::Dense(m) = &seg.body {
+        if let Some(d) = m.diagonal() {
+            seg.body = Body::Diag(d);
+            seg.pristine = None;
+        }
+    }
+    match &mut seg.body {
+        Body::Diag(table) => {
+            if table.iter().all(|&x| x == ONE) {
+                return None; // identity (controlled identity included)
+            }
+            // Prune target bits the table does not depend on.
+            let mut t = 0;
+            while seg.targets.len() > 1 && t < seg.targets.len() {
+                let bit = 1usize << t;
+                let independent = (0..table.len())
+                    .filter(|j| j & bit == 0)
+                    .all(|j| table[j] == table[j | bit]);
+                if independent {
+                    let kept: Vec<Complex64> = (0..table.len())
+                        .filter(|j| j & bit == 0)
+                        .map(|j| table[j])
+                        .collect();
+                    *table = kept;
+                    seg.targets.remove(t);
+                    seg.pristine = None;
+                } else {
+                    t += 1;
+                }
+            }
+        }
+        Body::Dense(m) => {
+            // Prune target bits on which the matrix factors as the identity.
+            let mut t = 0;
+            while seg.targets.len() > 1 && t < seg.targets.len() {
+                if dense_identity_factor(m, t) {
+                    *m = dense_drop_bit(m, t);
+                    seg.targets.remove(t);
+                    seg.pristine = None;
+                } else {
+                    t += 1;
+                }
+            }
+        }
+    }
+    Some(seg)
+}
+
+/// True when `m = I ⊗ m'` with the identity on sub-index bit `t`.
+fn dense_identity_factor(m: &CMatrix, t: usize) -> bool {
+    let dim = m.nrows();
+    let bit = 1usize << t;
+    for r in 0..dim {
+        for c in 0..dim {
+            if (r ^ c) & bit != 0 {
+                if m[(r, c)] != ZERO {
+                    return false;
+                }
+            } else if r & bit == 0 && m[(r, c)] != m[(r | bit, c | bit)] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Remove identity-factor bit `t` from a dense matrix.
+fn dense_drop_bit(m: &CMatrix, t: usize) -> CMatrix {
+    let insert0 = |idx: usize| -> usize {
+        let low = idx & ((1usize << t) - 1);
+        ((idx >> t) << (t + 1)) | low
+    };
+    CMatrix::from_fn(m.nrows() / 2, m.ncols() / 2, |r, c| {
+        m[(insert0(r), insert0(c))]
+    })
+}
+
+/// Fuse `second ∘ first` when the rules allow it (`first` is applied before
+/// `second` in circuit order).  The result is not yet simplified.
+fn try_fuse(first: &Segment, second: &Segment, opts: &FusionOptions) -> Option<Segment> {
+    if first.controls == second.controls {
+        let union = union_sorted(&first.targets, &second.targets);
+        // Nested targets fuse for free: the fused op is no bigger than one
+        // the circuit already contained.
+        let nested = union == first.targets || union == second.targets;
+        if let (Body::Diag(da), Body::Diag(db)) = (&first.body, &second.body) {
+            if !nested && union.len() > opts.max_diagonal_qubits {
+                return None;
+            }
+            let ea = embed_table(da, &first.targets, &union);
+            let eb = embed_table(db, &second.targets, &union);
+            let table = ea.iter().zip(&eb).map(|(a, b)| a * b).collect();
+            return Some(Segment {
+                controls: first.controls.clone(),
+                targets: union,
+                body: Body::Diag(table),
+                pristine: None,
+            });
+        }
+        if !nested && union.len() > opts.max_fused_qubits {
+            return None;
+        }
+        let ma = embed_dense(&dense_of(first), &first.targets, &union);
+        let mb = embed_dense(&dense_of(second), &second.targets, &union);
+        return Some(Segment {
+            controls: first.controls.clone(),
+            targets: union,
+            body: Body::Dense(mb.matmul(&ma)),
+            pristine: None,
+        });
+    }
+    // Mismatched control sets: only diagonals fuse, by folding the controls
+    // into the diagonal support (a controlled diagonal is a diagonal).
+    if matches!(first.body, Body::Diag(_)) && matches!(second.body, Body::Diag(_)) {
+        // Check the support cap before materializing any 2^k table: heavily
+        // controlled diagonals would otherwise allocate huge tables only to
+        // be rejected.
+        let sa = union_sorted(&first.controls, &first.targets);
+        let sb = union_sorted(&second.controls, &second.targets);
+        if union_sorted(&sa, &sb).len() > opts.max_diagonal_qubits {
+            return None;
+        }
+        let (qa, ta) = full_diag_table(first);
+        let (qb, tb) = full_diag_table(second);
+        let union = union_sorted(&qa, &qb);
+        let ea = embed_table(&ta, &qa, &union);
+        let eb = embed_table(&tb, &qb, &union);
+        let table = ea.iter().zip(&eb).map(|(a, b)| a * b).collect();
+        return Some(Segment {
+            controls: Vec::new(),
+            targets: union,
+            body: Body::Diag(table),
+            pristine: None,
+        });
+    }
+    None
+}
+
+/// Estimated complex multiplies of one application of this segment to a
+/// `len`-amplitude register, mirroring the kernel dispatch of
+/// [`crate::kernels`]: diagonals and permutation gates (X/SWAP) cost one
+/// multiply-equivalent per visited amplitude, dense `k`-target ops cost
+/// `4^k` per `2^k`-block, and controls shrink the visited subspace.
+fn sweep_cost(seg: &Segment, len: usize) -> usize {
+    let c = seg.controls.len();
+    match &seg.body {
+        // Phase-shift-class diagonals (unit leading entry, one target) only
+        // touch the target-bit-set half of the subspace; general diagonals
+        // visit every control-satisfied amplitude once.  Multi-target tables
+        // (the DiagonalK kernel) pay a per-amplitude bit-gather on top of
+        // the multiply, so they are costed at twice the single-bit kernels.
+        Body::Diag(d) if seg.targets.len() == 1 && d[0] == ONE => len >> (c + 1),
+        Body::Diag(_) if seg.targets.len() == 1 => len >> c,
+        Body::Diag(_) => (len >> c).saturating_mul(2),
+        Body::Dense(_) => {
+            let k = seg.targets.len();
+            let unit = match seg.pristine.as_ref().map(|op| &op.gate) {
+                // Permutation kernels move amplitudes without arithmetic.
+                Some(Gate::X) | Some(Gate::Swap) => 1,
+                // The generic k ≥ 2 kernel pays a gather/scatter and strided
+                // access on top of its 4^k multiplies, roughly doubling its
+                // per-multiply cost next to the contiguous single-qubit
+                // slice path (measured in `bench_gate_fusion`).
+                _ if k >= 2 => 2 << (2 * k),
+                _ => 4,
+            };
+            ((len >> c) >> k).max(1).saturating_mul(unit)
+        }
+    }
+}
+
+/// True when the two segments are guaranteed to commute: disjoint supports
+/// (controls included), or both diagonal in the computational basis.
+fn commutes(a: &Segment, b: &Segment) -> bool {
+    if matches!(a.body, Body::Diag(_)) && matches!(b.body, Body::Diag(_)) {
+        return true;
+    }
+    let sa = union_sorted(&a.controls, &a.targets);
+    let sb = union_sorted(&b.controls, &b.targets);
+    disjoint(&sa, &sb)
+}
+
+/// Emit a segment back as an operation.
+fn emit(seg: Segment) -> Operation {
+    if let Some(op) = seg.pristine {
+        return op;
+    }
+    let matrix = dense_of(&seg);
+    Operation::new(Gate::Unitary(matrix), seg.targets, seg.controls)
+}
+
+/// Run the fusion/diagonal-merging pass, returning the rewritten circuit.
+///
+/// The output implements the same unitary (up to floating-point roundoff in
+/// the fused matrix products, ≲ 1e-13 for realistic depths) on the same
+/// register width, with a shorter — never longer — operation list.
+pub fn optimize_circuit(circuit: &Circuit, opts: &FusionOptions) -> Circuit {
+    optimize_circuit_for(circuit, circuit.num_qubits(), opts)
+}
+
+/// [`optimize_circuit`] with the width of the register the circuit will
+/// actually run on (≥ the circuit's own width).  The cost gate prices sweeps
+/// at that width, so a small circuit compiled for a big register keeps its
+/// cheap structured sweeps instead of densifying.
+pub fn optimize_circuit_for(circuit: &Circuit, num_qubits: usize, opts: &FusionOptions) -> Circuit {
+    assert!(
+        circuit.num_qubits() <= num_qubits,
+        "circuit needs {} qubits, register has {}",
+        circuit.num_qubits(),
+        num_qubits
+    );
+    let len = 1usize << num_qubits;
+    let mut out: Vec<Segment> = Vec::new();
+    'ops: for op in circuit.operations() {
+        let Some(seg) = segment_of(op) else {
+            continue; // identity
+        };
+        let lo = out.len().saturating_sub(opts.lookback.max(1));
+        for j in (lo..out.len()).rev() {
+            if let Some(fused) = try_fuse(&out[j], &seg, opts) {
+                match simplify(fused) {
+                    None => {
+                        out.remove(j); // the pair cancelled to the identity
+                        continue 'ops;
+                    }
+                    Some(f) => {
+                        // Accept only when the fused sweep is no costlier
+                        // than the two sweeps it replaces (plus the saved
+                        // per-op overhead); otherwise keep scanning — a
+                        // cheaper partner may sit behind a commuting segment.
+                        let split = sweep_cost(&out[j], len)
+                            .saturating_add(sweep_cost(&seg, len))
+                            .saturating_add(opts.op_overhead_cost);
+                        if sweep_cost(&f, len) <= split {
+                            out[j] = f;
+                            continue 'ops;
+                        }
+                    }
+                }
+            }
+            if !commutes(&out[j], &seg) {
+                break;
+            }
+        }
+        out.push(seg);
+    }
+    let mut fused = Circuit::new(circuit.num_qubits());
+    for seg in out {
+        fused.push(emit(seg));
+    }
+    fused
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateVector;
+
+    fn assert_equivalent(raw: &Circuit, opts: &FusionOptions) -> Circuit {
+        let fused = optimize_circuit(raw, opts);
+        for col in 0..1usize << raw.num_qubits() {
+            let mut a = StateVector::basis_state(raw.num_qubits(), col);
+            a.apply_circuit(raw);
+            let mut b = StateVector::basis_state(raw.num_qubits(), col);
+            b.apply_circuit(&fused);
+            let diff: f64 = a
+                .amplitudes()
+                .iter()
+                .zip(b.amplitudes())
+                .map(|(x, y)| (x - y).norm())
+                .fold(0.0, f64::max);
+            assert!(diff < 1e-12, "column {col} deviates by {diff}");
+        }
+        fused
+    }
+
+    #[test]
+    fn single_qubit_rotation_chain_fuses_to_one_op() {
+        let mut c = Circuit::new(2);
+        c.h(0).rx(0, 0.3).ry(0, -1.1).rz(0, 0.7).h(0);
+        let fused = assert_equivalent(&c, &FusionOptions::default());
+        assert_eq!(fused.len(), 1);
+    }
+
+    #[test]
+    fn diagonal_chain_merges_across_qubits_and_controls() {
+        let mut c = Circuit::new(3);
+        c.rz(0, 0.4).t(1).cphase(0, 2, 0.9).z(2).crz(2, 1, -0.5);
+        let fused = assert_equivalent(&c, &FusionOptions::default());
+        assert_eq!(fused.len(), 1, "all-diagonal circuit must merge fully");
+    }
+
+    #[test]
+    fn x_conjugation_pairs_cancel() {
+        let mut c = Circuit::new(2);
+        c.x(1).phase(1, 0.8).x(1);
+        let fused = assert_equivalent(&c, &FusionOptions::default());
+        // X·P(φ)·X = diag(e^{iφ}, 1): one diagonal op.
+        assert_eq!(fused.len(), 1);
+        let mut cancel = Circuit::new(1);
+        cancel.x(0).x(0);
+        assert!(optimize_circuit(&cancel, &FusionOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn matching_control_masks_fuse_mismatched_dense_ops_do_not() {
+        let mut c = Circuit::new(3);
+        c.controlled_gate(Gate::X, &[0], &[2])
+            .controlled_gate(Gate::Ry(0.4), &[0], &[2])
+            .controlled_gate(Gate::H, &[0], &[1]);
+        let fused = assert_equivalent(&c, &FusionOptions::default());
+        // CX/CRy share controls {2} and fuse; the {1}-controlled H does not.
+        assert_eq!(fused.len(), 2);
+        assert_eq!(fused.operations()[0].controls, vec![2]);
+    }
+
+    #[test]
+    fn commuting_gates_are_hopped_over() {
+        let mut c = Circuit::new(4);
+        c.ry(0, 0.3).h(2).cx(2, 3).ry(0, -0.3);
+        let fused = assert_equivalent(&c, &FusionOptions::default());
+        // The two Ry(±0.3) cancel through the disjoint h/cx in between.
+        assert_eq!(fused.len(), 2);
+    }
+
+    #[test]
+    fn nested_targets_fuse_beyond_the_dense_cap() {
+        // A 4-target dense op (beyond K = 3) still absorbs single-qubit ops
+        // on its own support.
+        let mut inner = Circuit::new(4);
+        inner.h(0).cx(0, 1).cx(1, 2).cx(2, 3).ry(3, 0.3);
+        let u = crate::unitary::circuit_unitary(&inner);
+        let mut c = Circuit::new(4);
+        c.rz(1, 0.7);
+        c.gate(Gate::Unitary(u), &[0, 1, 2, 3]);
+        c.phase(2, -0.4).x(0);
+        let fused = assert_equivalent(&c, &FusionOptions::default());
+        assert_eq!(fused.len(), 1);
+    }
+
+    #[test]
+    fn identity_gates_are_dropped() {
+        let mut c = Circuit::new(2);
+        c.gate(Gate::I, &[0])
+            .controlled_gate(Gate::I, &[1], &[0])
+            .h(1);
+        let fused = assert_equivalent(&c, &FusionOptions::default());
+        assert_eq!(fused.len(), 1);
+    }
+
+    #[test]
+    fn unsorted_targets_are_canonicalised() {
+        // SWAP with targets given in descending order must still fuse
+        // correctly with ops on its support.
+        let mut c = Circuit::new(3);
+        c.gate(Gate::Swap, &[2, 0]).h(0).h(2);
+        assert_equivalent(&c, &FusionOptions::default());
+    }
+
+    #[test]
+    fn lookback_zero_still_fuses_adjacent_ops() {
+        let opts = FusionOptions {
+            lookback: 0,
+            ..Default::default()
+        };
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.1).rz(0, 0.2);
+        assert_eq!(assert_equivalent(&c, &opts).len(), 1);
+    }
+
+    #[test]
+    fn costly_densification_is_rejected_on_large_registers() {
+        // Three H's on distinct qubits of a big register: densifying them
+        // into one 3-qubit generic block (64 multiplies per 8 amplitudes)
+        // costs more arithmetic than three pair sweeps, so above the
+        // overhead break-even the pass must leave them alone — while the
+        // same circuit on a small register fuses fully.
+        let build = |n: usize| {
+            let mut c = Circuit::new(n);
+            c.h(0).h(1).h(2);
+            c
+        };
+        let opts = FusionOptions::default();
+        // The generic k >= 2 kernel is costed at twice its multiply count
+        // (gather/scatter overhead), so none of the cross-qubit
+        // densifications pay off on a big register.
+        let large = optimize_circuit(&build(14), &opts);
+        assert_eq!(large.len(), 3, "no densification at 14 qubits");
+        let small = assert_equivalent(&build(3), &opts);
+        assert_eq!(small.len(), 1, "full fusion on a 3-qubit register");
+        // Equal-target fusion is cost-neutral and must happen at any size.
+        let mut pair = Circuit::new(14);
+        pair.ry(5, 0.3).rx(5, -0.8);
+        assert_eq!(optimize_circuit(&pair, &opts).len(), 1);
+        // A small circuit compiled for a big register must be priced at the
+        // *register* width, not its own width.
+        let widened = optimize_circuit_for(&build(3), 14, &opts);
+        assert_eq!(widened.len(), 3, "no densification when run on 14 qubits");
+    }
+
+    #[test]
+    fn stats_ratios() {
+        let stats = CircuitStats {
+            raw_ops: 10,
+            fused_ops: 4,
+            raw_sweep_work: 100,
+            fused_sweep_work: 50,
+        };
+        assert!((stats.op_reduction() - 2.5).abs() < 1e-15);
+        assert!((stats.work_reduction() - 2.0).abs() < 1e-15);
+        let empty = CircuitStats {
+            raw_ops: 0,
+            fused_ops: 0,
+            raw_sweep_work: 0,
+            fused_sweep_work: 0,
+        };
+        assert_eq!(empty.op_reduction(), 1.0);
+    }
+}

@@ -26,7 +26,8 @@
 //! | `Flip`        | `X` (incl. `CX`/`CCX`/MCX) | `2^(n-c-1)` swaps |
 //! | `SwapBits`    | `SWAP` | `2^(n-c-2)` swaps |
 //! | `SingleQubit` | `H` `Y` `Rx` `Ry`, any dense 1-qubit unitary | `2^(n-c-1)` 2×2 updates (4 multiplies each) |
-//! | `Generic`     | k-qubit `Gate::Unitary` | `2^(n-c-k)` dense `2^k`×`2^k` mat-vecs |
+//! | `DiagonalK`   | diagonal k-qubit `Gate::Unitary` (fused phase chains) | `2^(n-c)` table-lookup multiplies |
+//! | `Generic`     | dense k-qubit `Gate::Unitary` | `2^(n-c-k)` dense `2^k`×`2^k` mat-vecs |
 //!
 //! `n` = register qubits, `c` = number of controls, `k` = targets.  Controlled
 //! variants enumerate only the control-satisfied subspace (the free indices
@@ -160,6 +161,15 @@ enum Kernel {
     Flip { bit: usize },
     /// SWAP gate: exchange the two target bits.
     SwapBits { bit_a: usize, bit_b: usize },
+    /// Diagonal on `k ≥ 2` target bits (produced by the fusion pass of
+    /// [`crate::fuse`] and by diagonal `Gate::Unitary` matrices): one table
+    /// lookup and multiply per amplitude, whatever the support size.
+    DiagonalK {
+        /// Target bit positions; bit `t` of the table index ↔ `bits[t]`.
+        bits: Vec<usize>,
+        /// `2^k` diagonal entries.
+        table: Vec<Complex64>,
+    },
     /// Dense `2^k × 2^k` unitary on `k` target bits.
     Generic {
         /// Row-major flattened gate matrix.
@@ -180,6 +190,7 @@ impl Kernel {
         match self {
             Kernel::Identity => 0,
             Kernel::Diagonal { .. }
+            | Kernel::DiagonalK { .. }
             | Kernel::PhaseShift { .. }
             | Kernel::Flip { .. }
             | Kernel::SwapBits { .. } => 1,
@@ -282,30 +293,63 @@ impl CompiledOp {
                 let m = op.gate.matrix();
                 single(op.targets[0], [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]])
             }
+            // Dense unitaries are classified by *value*: exactly-diagonal
+            // matrices (the fusion pass emits these for merged phase chains)
+            // go to the one-multiply-per-amplitude diagonal kernels instead
+            // of the dense paths.
             Gate::Unitary(m) if op.targets.len() == 1 => {
-                single(op.targets[0], [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]])
+                let bit = op.targets[0];
+                let one = Complex64::new(1.0, 0.0);
+                match m.diagonal() {
+                    Some(d) if d[0] == one && d[1] == one => (Vec::new(), Kernel::Identity),
+                    Some(d) if d[0] == one => {
+                        (sorted_with(&[bit]), Kernel::PhaseShift { bit, phase: d[1] })
+                    }
+                    Some(d) => (
+                        sorted_with(&[]),
+                        Kernel::Diagonal {
+                            bit,
+                            phases: [d[0], d[1]],
+                        },
+                    ),
+                    None => single(bit, [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]]),
+                }
             }
             Gate::Unitary(m) => {
                 let k = op.targets.len();
                 let dim = 1usize << k;
                 debug_assert_eq!(m.nrows(), dim);
-                let flat: Vec<Complex64> = (0..dim)
-                    .flat_map(|r| (0..dim).map(move |c| m[(r, c)]))
-                    .collect();
-                let offsets: Vec<usize> = (0..dim)
-                    .map(|j| {
-                        op.targets
-                            .iter()
-                            .enumerate()
-                            .filter(|(t, _)| j & (1 << t) != 0)
-                            .map(|(_, &q)| 1usize << q)
-                            .sum()
-                    })
-                    .collect();
-                (
-                    sorted_with(&op.targets),
-                    Kernel::Generic { flat, offsets, dim },
-                )
+                match m.diagonal() {
+                    Some(d) if d.iter().all(|&x| x == Complex64::new(1.0, 0.0)) => {
+                        (Vec::new(), Kernel::Identity)
+                    }
+                    Some(d) => (
+                        sorted_with(&[]),
+                        Kernel::DiagonalK {
+                            bits: op.targets.clone(),
+                            table: d,
+                        },
+                    ),
+                    None => {
+                        let flat: Vec<Complex64> = (0..dim)
+                            .flat_map(|r| (0..dim).map(move |c| m[(r, c)]))
+                            .collect();
+                        let offsets: Vec<usize> = (0..dim)
+                            .map(|j| {
+                                op.targets
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(t, _)| j & (1 << t) != 0)
+                                    .map(|(_, &q)| 1usize << q)
+                                    .sum()
+                            })
+                            .collect();
+                        (
+                            sorted_with(&op.targets),
+                            Kernel::Generic { flat, offsets, dim },
+                        )
+                    }
+                }
             }
         };
         CompiledOp {
@@ -467,6 +511,28 @@ impl CompiledOp {
                     }
                 });
             }
+            Kernel::DiagonalK { bits, table } => {
+                let (bits, table) = (bits.as_slice(), table.as_slice());
+                let gather = |i: usize| -> usize {
+                    bits.iter()
+                        .enumerate()
+                        .fold(0usize, |acc, (t, &b)| acc | (((i >> b) & 1) << t))
+                };
+                if cm == 0 && sequential {
+                    for (i, a) in amps.iter_mut().enumerate() {
+                        *a *= table[gather(i)];
+                    }
+                    return;
+                }
+                for_each_free(count, parallel, |p| {
+                    // SAFETY: every target bit is free, so each `p` maps to
+                    // exactly one amplitude index.
+                    unsafe {
+                        let i = expand(p, fixed) | cm;
+                        ptr.set(i, ptr.get(i) * table[gather(i)]);
+                    }
+                });
+            }
             Kernel::SwapBits { bit_a, bit_b } => {
                 let (ma, mb) = (1usize << bit_a, 1usize << bit_b);
                 for_each_free(count, parallel, |p| {
@@ -517,6 +583,34 @@ impl CompiledOp {
     }
 }
 
+/// [`CompiledOp::work_estimate`] derived from the gate classification alone
+/// (no matrix flattening or offset tables), for cheap stats pricing of raw
+/// circuits in [`CompiledCircuit::optimized_with`].  Mirrors the kernel
+/// dispatch of [`CompiledOp::compile`] case for case.
+fn op_sweep_work(op: &Operation, len: usize) -> usize {
+    let c = op.controls.len();
+    let one = Complex64::new(1.0, 0.0);
+    match &op.gate {
+        Gate::I => 0,
+        Gate::X | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::Phase(_) => {
+            len >> (c + 1)
+        }
+        Gate::Rz(_) | Gate::GlobalPhase(_) => len >> c,
+        Gate::Swap => len >> (c + 2),
+        Gate::H | Gate::Y | Gate::Rx(_) | Gate::Ry(_) => (len >> (c + 1)).saturating_mul(4),
+        Gate::Unitary(m) => {
+            let k = op.targets.len();
+            match m.diagonal() {
+                Some(d) if d.iter().all(|&x| x == one) => 0,
+                Some(d) if k == 1 && d[0] == one => len >> (c + 1),
+                Some(_) => len >> c,
+                None if k == 1 => (len >> (c + 1)).saturating_mul(4),
+                None => ((len >> c) >> k).saturating_mul(1usize << (2 * k)),
+            }
+        }
+    }
+}
+
 fn phase_shift(
     op: &Operation,
     phase: Complex64,
@@ -537,6 +631,52 @@ impl CompiledCircuit {
     /// Compile every operation of `circuit` for its own register width.
     pub fn compile(circuit: &Circuit) -> Self {
         Self::compile_for(circuit, circuit.num_qubits())
+    }
+
+    /// Run the optimizer pass of [`crate::fuse`] (gate fusion + diagonal
+    /// merging, default [`FusionOptions`](crate::fuse::FusionOptions)) and
+    /// compile the rewritten circuit — one compilation, observable through
+    /// [`circuit_compile_count`] exactly like [`CompiledCircuit::compile`].
+    ///
+    /// The optimized form implements the same unitary to ≲ 1e-13 (fused ops
+    /// are floating-point matrix products); [`CompiledCircuit::compile`] on
+    /// the raw circuit remains the unoptimized equivalence oracle.
+    pub fn optimized(circuit: &Circuit) -> Self {
+        Self::optimized_with(
+            circuit,
+            circuit.num_qubits(),
+            &crate::fuse::FusionOptions::default(),
+        )
+        .0
+    }
+
+    /// [`CompiledCircuit::optimized`] with an explicit register width and
+    /// fusion options, also returning the before/after
+    /// [`CircuitStats`](crate::fuse::CircuitStats) report.
+    pub fn optimized_with(
+        circuit: &Circuit,
+        num_qubits: usize,
+        options: &crate::fuse::FusionOptions,
+    ) -> (Self, crate::fuse::CircuitStats) {
+        let fused = crate::fuse::optimize_circuit_for(circuit, num_qubits, options);
+        let compiled = Self::compile_for(&fused, num_qubits);
+        let len = 1usize << num_qubits;
+        // Shape-based pricing of the raw circuit for the stats report: the
+        // same quantity `CompiledOp::work_estimate` would give, derived from
+        // the gate classification alone so construction does not pay a full
+        // second compile (no matrix flattening or offset tables).
+        let raw_sweep_work = circuit
+            .operations()
+            .iter()
+            .map(|op| op_sweep_work(op, len))
+            .fold(0usize, |a, w| a.saturating_add(w));
+        let stats = crate::fuse::CircuitStats {
+            raw_ops: circuit.len(),
+            fused_ops: compiled.len(),
+            raw_sweep_work,
+            fused_sweep_work: compiled.work_estimate(len),
+        };
+        (compiled, stats)
     }
 
     /// Compile for a register of `num_qubits` (≥ the circuit's width), so the
@@ -878,14 +1018,132 @@ mod tests {
             compile(Gate::Swap, &[1, 3]).kernel,
             Kernel::SwapBits { bit_a: 1, bit_b: 3 }
         ));
+        let h = Gate::H.matrix();
         assert!(matches!(
-            compile(Gate::Unitary(CMatrix::identity(4)), &[0, 2]).kernel,
+            compile(Gate::Unitary(h.kron(&h)), &[0, 2]).kernel,
             Kernel::Generic { dim: 4, .. }
         ));
         // 1-qubit dense unitaries use the pair kernel, not the generic one.
         assert!(matches!(
-            compile(Gate::Unitary(CMatrix::identity(2)), &[1]).kernel,
+            compile(Gate::Unitary(Gate::H.matrix()), &[1]).kernel,
             Kernel::SingleQubit { bit: 1, .. }
         ));
+        // Unitary matrices that are exactly diagonal route to the diagonal
+        // kernels — identity, phase-shift, Rz-like, and the k-qubit table.
+        assert_eq!(
+            compile(Gate::Unitary(CMatrix::identity(4)), &[0, 2]).kernel,
+            Kernel::Identity
+        );
+        assert_eq!(
+            compile(Gate::Unitary(CMatrix::identity(2)), &[1]).kernel,
+            Kernel::Identity
+        );
+        assert!(matches!(
+            compile(Gate::Unitary(Gate::Phase(0.3).matrix()), &[1]).kernel,
+            Kernel::PhaseShift { bit: 1, .. }
+        ));
+        assert!(matches!(
+            compile(Gate::Unitary(Gate::Rz(0.3).matrix()), &[2]).kernel,
+            Kernel::Diagonal { bit: 2, .. }
+        ));
+        let cz_like = CMatrix::from_fn(4, 4, |i, j| {
+            if i == j {
+                Complex64::from_polar(1.0, 0.1 * i as f64)
+            } else {
+                Complex64::new(0.0, 0.0)
+            }
+        });
+        assert!(matches!(
+            compile(Gate::Unitary(cz_like), &[1, 3]).kernel,
+            Kernel::DiagonalK { .. }
+        ));
+    }
+
+    #[test]
+    fn op_sweep_work_matches_compiled_work_estimate() {
+        // The shape-based pricing used by `optimized_with` must agree with
+        // the real compiled op, case for case, controls included.
+        let n = 6;
+        let len = 1usize << n;
+        let diag = CMatrix::from_fn(4, 4, |i, j| {
+            if i == j {
+                Complex64::from_polar(1.0, 0.2 * i as f64)
+            } else {
+                Complex64::new(0.0, 0.0)
+            }
+        });
+        let h = Gate::H.matrix();
+        let cases: Vec<Operation> = vec![
+            Operation::new(Gate::I, vec![0], vec![]),
+            Operation::new(Gate::X, vec![1], vec![3]),
+            Operation::new(Gate::T, vec![2], vec![]),
+            Operation::new(Gate::Rz(0.4), vec![0], vec![4, 5]),
+            Operation::new(Gate::GlobalPhase(0.3), vec![1], vec![]),
+            Operation::new(Gate::Swap, vec![0, 3], vec![1]),
+            Operation::new(Gate::H, vec![2], vec![0]),
+            Operation::new(Gate::Unitary(Gate::Phase(0.7).matrix()), vec![3], vec![]),
+            Operation::new(Gate::Unitary(Gate::Rz(0.7).matrix()), vec![3], vec![1]),
+            Operation::new(Gate::Unitary(CMatrix::identity(4)), vec![0, 1], vec![]),
+            Operation::new(Gate::Unitary(diag), vec![2, 4], vec![0]),
+            Operation::new(Gate::Unitary(h.kron(&h)), vec![1, 5], vec![2]),
+            Operation::new(Gate::Unitary(h.clone()), vec![4], vec![]),
+        ];
+        for op in &cases {
+            assert_eq!(
+                op_sweep_work(op, len),
+                CompiledOp::compile(op, n).work_estimate(len),
+                "pricing mismatch for {:?} on {:?}/{:?}",
+                op.gate.name(),
+                op.targets,
+                op.controls
+            );
+        }
+    }
+
+    #[test]
+    fn diagonal_k_kernel_matches_reference() {
+        // A controlled 2-qubit diagonal through the DiagonalK kernel vs the
+        // generic reference path.
+        let table: Vec<Complex64> = (0..4)
+            .map(|i| Complex64::from_polar(1.0, 0.4 * i as f64 - 0.7))
+            .collect();
+        let diag = CMatrix::from_fn(4, 4, |i, j| {
+            if i == j {
+                table[i]
+            } else {
+                Complex64::new(0.0, 0.0)
+            }
+        });
+        let mut circ = Circuit::new(4);
+        circ.h(0).h(1).h(2).h(3).cx(0, 2);
+        circ.gate(Gate::Unitary(diag.clone()), &[2, 0]);
+        circ.controlled_gate(Gate::Unitary(diag), &[3, 1], &[0]);
+        let (fast, slow) = apply_both(&circ);
+        assert_states_close(&fast, &slow);
+    }
+
+    #[test]
+    fn optimized_compiles_once_and_matches_compile() {
+        let mut circ = Circuit::new(3);
+        circ.h(0).rz(0, 0.4).t(0).cx(0, 1).x(2).phase(2, 1.1).x(2);
+        let before = circuit_compile_count();
+        let (optimized, stats) =
+            CompiledCircuit::optimized_with(&circ, 3, &crate::fuse::FusionOptions::default());
+        assert_eq!(
+            circuit_compile_count(),
+            before + 1,
+            "optimization + compilation counts as one circuit compile"
+        );
+        assert_eq!(stats.raw_ops, circ.len());
+        assert_eq!(stats.fused_ops, optimized.len());
+        assert!(stats.fused_ops < stats.raw_ops);
+        assert!(stats.fused_sweep_work <= stats.raw_sweep_work);
+        for col in 0..8 {
+            let mut a = StateVector::basis_state(3, col);
+            optimized.apply(&mut a);
+            let mut b = StateVector::basis_state(3, col);
+            b.apply_circuit(&circ);
+            assert_states_close(&a, &b);
+        }
     }
 }

@@ -45,6 +45,17 @@
 //!    [`kernels::circuit_compile_count`] counter makes that contract
 //!    testable.
 //!
+//! 4. **Optimize before compiling.**  The circuit-optimizer pass ([`fuse`])
+//!    rewrites the operation list ahead of compilation — runs of adjacent
+//!    gates fuse into one dense sweep (combined target support capped at
+//!    [`FusionOptions::max_fused_qubits`], uncapped when targets nest),
+//!    diagonal/phase chains merge into a single table-driven diagonal, and
+//!    identities vanish — so `m` gates become far fewer, denser kernel
+//!    dispatches.  [`QuantumExecutor`] applies it by default
+//!    ([`OptLevel::Fuse`]); `OptLevel::None` retains the one-`CompiledOp`-
+//!    per-gate path as the equivalence oracle, and [`CircuitStats`] reports
+//!    the before/after op counts and estimated sweep work.
+//!
 //! The seed's original "rebuild the whole vector per gate" path survives as
 //! `kernels::reference`, serving as the property-test oracle and the baseline
 //! of the `BENCH_simulator.json` perf trajectory (`bench_json` binary).
@@ -72,6 +83,7 @@
 pub mod circuit;
 pub mod cmatrix;
 pub mod executor;
+pub mod fuse;
 pub mod gate;
 pub mod kernels;
 pub mod measure;
@@ -81,12 +93,13 @@ pub mod unitary;
 
 pub use circuit::{Circuit, Operation};
 pub use cmatrix::CMatrix;
-pub use executor::QuantumExecutor;
+pub use executor::{OptLevel, QuantumExecutor};
+pub use fuse::{optimize_circuit, CircuitStats, FusionOptions};
 pub use gate::Gate;
 pub use kernels::{circuit_compile_count, CompiledCircuit, CompiledOp, PARALLEL_WORK_THRESHOLD};
 pub use measure::{
     estimate_magnitudes, sample, shots_for_accuracy, signed_from_magnitudes, SampleResult,
 };
-pub use resources::{estimate_resources, ResourceEstimate, TCountModel};
+pub use resources::{estimate_resources, fusion_stats, ResourceEstimate, TCountModel};
 pub use state::StateVector;
 pub use unitary::{apply_circuit_to_vector, circuit_unitary};

@@ -8,6 +8,9 @@
 //! number of rotations, and a configurable T-count estimate.
 
 use crate::circuit::Circuit;
+pub use crate::fuse::CircuitStats;
+use crate::fuse::FusionOptions;
+use crate::kernels::CompiledCircuit;
 use serde::Serialize;
 
 /// Parameters of the T-count model.
@@ -135,6 +138,20 @@ pub fn estimate_resources(circuit: &Circuit, model: &TCountModel) -> ResourceEst
     }
 }
 
+/// Simulation-side cost report of a circuit: what the optimizer pass of
+/// [`crate::fuse`] does to the op count and the estimated per-application
+/// sweep work (default [`FusionOptions`]).
+///
+/// This complements [`estimate_resources`]: that prices the circuit on
+/// fault-tolerant *hardware* (T counts, depth), this prices it on the
+/// *simulator*, so the figure/table binaries can print both side by side.
+/// Note this compiles the optimized circuit once (it shows up in
+/// [`crate::kernels::circuit_compile_count`]) — it is a reporting helper,
+/// not something to call on a hot path.
+pub fn fusion_stats(circuit: &Circuit) -> CircuitStats {
+    CompiledCircuit::optimized_with(circuit, circuit.num_qubits(), &FusionOptions::default()).1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +216,19 @@ mod tests {
         assert!(t5 > t3);
         assert_eq!(t3, 2 * 2 * model.t_per_toffoli);
         assert_eq!(t5, 2 * 4 * model.t_per_toffoli);
+    }
+
+    #[test]
+    fn fusion_stats_reports_the_optimizer_effect() {
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.3).t(0).phase(0, -0.2).h(1);
+        let stats = fusion_stats(&c);
+        assert_eq!(stats.raw_ops, 4);
+        // The rz/t/phase diagonal chain merges, and the combined 2-qubit
+        // support lets the h fuse in too.
+        assert_eq!(stats.fused_ops, 1);
+        assert!(stats.op_reduction() >= 4.0);
+        assert!(stats.fused_sweep_work <= stats.raw_sweep_work);
     }
 
     #[test]

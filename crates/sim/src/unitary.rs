@@ -9,25 +9,38 @@
 
 use crate::circuit::Circuit;
 use crate::cmatrix::CMatrix;
-use crate::kernels::CompiledCircuit;
+use crate::executor::QuantumExecutor;
 use crate::state::StateVector;
 use num_complex::Complex64;
 
 /// Compute the dense unitary implemented by a circuit by running it on every
-/// computational basis state (columns of the unitary).  The circuit is
-/// compiled once and a single register allocation is reset and reused across
-/// all `2^n` columns.
+/// computational basis state (columns of the unitary).
+///
+/// The circuit is optimized and compiled exactly once
+/// ([`QuantumExecutor::new`], default fusion), and the `2^n` basis columns go
+/// through [`QuantumExecutor::run_batch`] in bounded chunks, so the
+/// extraction gets both the fused sweeps and the engine's coarse-grained
+/// register fan-out on multi-core machines while only a chunk of live
+/// registers ever sits next to the `4^n` output matrix.
 pub fn circuit_unitary(circuit: &Circuit) -> CMatrix {
+    // 256 columns per batch: plenty of registers for the coarse-grained
+    // fan-out, bounded transient allocation.
+    const COLUMNS_PER_BATCH: usize = 256;
     let n = circuit.num_qubits();
     let dim = 1usize << n;
-    let compiled = CompiledCircuit::compile(circuit);
+    let executor = QuantumExecutor::new(circuit);
     let mut u = CMatrix::zeros(dim, dim);
-    let mut sv = StateVector::zero_state(n);
-    for col in 0..dim {
-        sv.reset_to_basis(col);
-        compiled.apply(&mut sv);
-        for (row, &amp) in sv.amplitudes().iter().enumerate() {
-            u[(row, col)] = amp;
+    for chunk_start in (0..dim).step_by(COLUMNS_PER_BATCH) {
+        let chunk_end = (chunk_start + COLUMNS_PER_BATCH).min(dim);
+        let columns = executor.run_batch_vec(
+            (chunk_start..chunk_end)
+                .map(|col| StateVector::basis_state(n, col))
+                .collect(),
+        );
+        for (offset, state) in columns.iter().enumerate() {
+            for (row, &amp) in state.amplitudes().iter().enumerate() {
+                u[(row, chunk_start + offset)] = amp;
+            }
         }
     }
     u

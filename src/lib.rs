@@ -13,10 +13,12 @@
 //!   polynomial;
 //! * [`sim`] (`qls-sim`) — the state-vector quantum simulator (compiled
 //!   in-place gate kernels with real thread fan-out; see the performance
-//!   model in `qls_sim::kernels`) and the compile-once execution engine
-//!   (`qls_sim::QuantumExecutor`: compile a circuit exactly once, `run` it
-//!   many times, `run_batch` it across many registers with coarse-grained
-//!   thread fan-out);
+//!   model in `qls_sim::kernels`), the circuit-optimizer pass
+//!   (`qls_sim::fuse`: gate fusion + diagonal merging, on by default through
+//!   `OptLevel::Fuse`, reported by `CircuitStats`), and the compile-once
+//!   execution engine (`qls_sim::QuantumExecutor`: optimize + compile a
+//!   circuit exactly once, `run` it many times, `run_batch` it across many
+//!   registers with coarse-grained thread fan-out);
 //! * [`encoding`] (`qls-encoding`) — state preparation and block-encodings;
 //! * [`qsvt`] (`qls-qsvt`) — QSP phases, QSVT circuits, matrix inversion
 //!   (compile-once: `QsvtInverter` compiles its circuit in `new` and offers
@@ -100,7 +102,8 @@ pub mod prelude {
     pub use qls_poly::{ChebyshevSeries, InversePolynomial};
     pub use qls_qsvt::{QsvtInverter, QsvtMode};
     pub use qls_sim::{
-        estimate_resources, Circuit, Gate, QuantumExecutor, StateVector, TCountModel,
+        estimate_resources, fusion_stats, Circuit, CircuitStats, FusionOptions, Gate, OptLevel,
+        QuantumExecutor, StateVector, TCountModel,
     };
 
     pub use rand::SeedableRng;
