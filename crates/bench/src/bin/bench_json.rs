@@ -23,7 +23,12 @@
 //!    plus the circuit-compile counts (from the thread-local
 //!    `qls_sim::circuit_compile_count`);
 //! 5. the multi-RHS workload: one refiner, many right-hand sides — batched
-//!    (`HybridRefiner::solve_many`) vs a sequential loop of `solve`.
+//!    (`HybridRefiner::solve_many`) vs a sequential loop of `solve`;
+//! 6. the structured-operator residual workload (`sparse_residual`): the
+//!    refinement-loop hot path `r = b − A x` on the 2-D Poisson problem
+//!    through the dense matrix, the CSR operator and the matrix-free stencil
+//!    — the O(N²) vs O(nnz) comparison of the operator layer, at N = 4096
+//!    and N = 16384 on the full preset.
 //!
 //! Usage: `bench_json [--preset small|full] [--out PATH]`.  The `small`
 //! preset shrinks every workload so CI can validate the artifact in seconds;
@@ -31,7 +36,7 @@
 
 use qls_bench::{experiment_rng, layered_circuit, paper_test_system, random_circuit};
 use qls_core::{HybridRefinementOptions, HybridRefiner, QsvtSolverOptions};
-use qls_linalg::Vector;
+use qls_linalg::{poisson_2d, Vector};
 use qls_qsvt::{QsvtInverter, QsvtMode};
 use qls_sim::kernels::reference;
 use qls_sim::{circuit_compile_count, circuit_unitary, OptLevel, StateVector};
@@ -53,6 +58,9 @@ struct Preset {
     refine_reps: usize,
     refine_target: f64,
     multi_rhs: usize,
+    /// Square 2-D Poisson grid sides for the structured-residual workload
+    /// (N = side²).
+    sparse_grids: [usize; 2],
 }
 
 const FULL: Preset = Preset {
@@ -69,6 +77,7 @@ const FULL: Preset = Preset {
     refine_reps: 3,
     refine_target: 1e-10,
     multi_rhs: 8,
+    sparse_grids: [64, 128], // N = 4096 and N = 16384
 };
 
 const SMALL: Preset = Preset {
@@ -85,6 +94,7 @@ const SMALL: Preset = Preset {
     refine_reps: 2,
     refine_target: 1e-6,
     multi_rhs: 3,
+    sparse_grids: [16, 32], // N = 256 and N = 1024: seconds, not minutes, in CI
 };
 
 /// Minimum over `reps` timed runs of `f`, in seconds.
@@ -298,6 +308,68 @@ fn main() {
         preset.multi_rhs
     );
 
+    // -- Workload 6: structured-operator residual (dense vs CSR vs stencil) --
+    // The refinement-loop hot path r = b − A x on the 2-D Poisson problem.
+    // Dense pays O(N²) time (and memory: the N = 16384 matrix is ~2 GiB),
+    // the CSR and stencil operators pay O(nnz) — same floats out either way
+    // (the structured matvecs are bit-identical to the dense kernel).
+    let mut sparse_json = String::new();
+    for &g in &preset.sparse_grids {
+        let n = g * g;
+        let stencil = poisson_2d::<f64>(g, g, false);
+        let csr = stencil.to_sparse();
+        let nnz = csr.nnz();
+        let x: Vector<f64> = (0..n).map(|i| ((i % 101) as f64 / 101.0) - 0.5).collect();
+        let b: Vector<f64> = (0..n).map(|i| ((i % 89) as f64 / 89.0) - 0.5).collect();
+        let csr_secs = time_min(5, || {
+            std::hint::black_box(&b - &csr.matvec(&x));
+        });
+        let stencil_secs = time_min(5, || {
+            std::hint::black_box(&b - &stencil.matvec(&x));
+        });
+        let (dense_secs, reference) = {
+            // Scoped so the dense matrix is dropped before the next size.
+            let dense = stencil.to_dense();
+            let secs = time_min(3, || {
+                std::hint::black_box(&b - &dense.matvec(&x));
+            });
+            (secs, &b - &dense.matvec(&x))
+        };
+        // Equivalence guard: the timed operators compute the same residual.
+        assert_eq!(
+            (&b - &csr.matvec(&x)).as_slice(),
+            reference.as_slice(),
+            "CSR residual must be bit-identical to dense"
+        );
+        assert_eq!(
+            (&b - &stencil.matvec(&x)).as_slice(),
+            reference.as_slice(),
+            "stencil residual must be bit-identical to dense"
+        );
+        let csr_speedup = dense_secs / csr_secs;
+        let stencil_speedup = dense_secs / stencil_secs;
+        eprintln!(
+            "  sparse_residual N={n} (grid {g}x{g}, nnz {nnz}): dense {dense_secs:.6}s, \
+             csr {csr_secs:.6}s ({csr_speedup:.1}x), stencil {stencil_secs:.6}s \
+             ({stencil_speedup:.1}x)"
+        );
+        let _ = write!(
+            sparse_json,
+            r#",
+    {{
+      "name": "sparse_residual",
+      "matrix_size": {n},
+      "grid": {g},
+      "nnz": {nnz},
+      "dense_residual_seconds": {dense_secs:.6},
+      "csr_residual_seconds": {csr_secs:.6},
+      "stencil_residual_seconds": {stencil_secs:.6},
+      "csr_vs_dense_speedup": {csr_speedup:.3},
+      "stencil_vs_dense_speedup": {stencil_speedup:.3}
+    }}"#
+        );
+    }
+
     // -- Emit JSON -----------------------------------------------------------
     let unix_seconds = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -366,7 +438,7 @@ fn main() {
       "batched_seconds": {batched_secs:.6},
       "sequential_seconds": {sequential_secs:.6},
       "batched_vs_sequential_speedup": {batch_speedup:.3}
-    }}
+    }}{sparse_json}
   ]
 }}
 "#,

@@ -16,7 +16,7 @@
 //! flops) feeds the cost model of [`crate::cost`].
 
 use qls_encoding::StatePreparation;
-use qls_linalg::{brent_minimize, scaled_residual, Matrix, Vector};
+use qls_linalg::{brent_minimize, scaled_residual, LinearOperator, Matrix, Vector};
 use qls_qsvt::{QsvtError, QsvtInverter, QsvtMode, QsvtResources};
 use qls_sim::{shots_for_accuracy, OptLevel};
 use rand::Rng;
@@ -107,20 +107,37 @@ pub struct SolveCost {
 }
 
 /// A prepared QSVT solver for a fixed matrix.
-pub struct QsvtLinearSolver {
-    matrix: Matrix<f64>,
+///
+/// Generic over the classical operator representation of `A`
+/// ([`LinearOperator`], dense [`Matrix`] by default so existing callers
+/// compile unchanged): the quantum side (SVD, block-encoding, compiled QSVT
+/// circuit) is built once from the densified matrix in
+/// [`QsvtLinearSolver::new`], while every **per-solve classical step** — the
+/// Brent norm-recovery matvec and the residual check — runs through the
+/// operator at O(nnz).
+pub struct QsvtLinearSolver<Op: LinearOperator<f64> = Matrix<f64>> {
+    operator: Op,
     inverter: QsvtInverter,
     options: QsvtSolverOptions,
 }
 
-impl QsvtLinearSolver {
+impl<Op: LinearOperator<f64>> QsvtLinearSolver<Op> {
     /// Prepare the solver (builds the inverse polynomial and, in circuit mode,
     /// the phase factors and the optimized, compiled-once QSVT circuit).
-    pub fn new(a: &Matrix<f64>, options: QsvtSolverOptions) -> Result<Self, QsvtError> {
-        let inverter =
-            QsvtInverter::with_opt_level(a, options.epsilon_l, options.mode, options.opt_level)?;
+    /// The densification needed by the quantum-side construction happens here,
+    /// once — never on the solve path.
+    pub fn new(a: &Op, options: QsvtSolverOptions) -> Result<Self, QsvtError> {
+        // The densified temporary is dropped before the operator is cloned,
+        // so the dense default (`to_dense` = clone) never holds an extra
+        // N² buffer beyond what the inverter keeps.
+        let inverter = QsvtInverter::with_opt_level(
+            &a.to_dense(),
+            options.epsilon_l,
+            options.mode,
+            options.opt_level,
+        )?;
         Ok(QsvtLinearSolver {
-            matrix: a.clone(),
+            operator: a.clone(),
             inverter,
             options,
         })
@@ -129,6 +146,11 @@ impl QsvtLinearSolver {
     /// The solver options.
     pub fn options(&self) -> &QsvtSolverOptions {
         &self.options
+    }
+
+    /// The classical operator the per-solve matvecs run through.
+    pub fn operator(&self) -> &Op {
+        &self.operator
     }
 
     /// The condition number of the prepared matrix (from its SVD).
@@ -154,7 +176,7 @@ impl QsvtLinearSolver {
         b: &Vector<f64>,
         rng: &mut R,
     ) -> Result<QsvtSolveResult, QsvtError> {
-        assert_eq!(b.len(), self.matrix.nrows(), "dimension mismatch");
+        assert_eq!(b.len(), self.operator.nrows(), "dimension mismatch");
         // Quantum solve: direction of the solution, through the compiled-once
         // circuit (or the retained recompile-per-call baseline when the
         // benchmark switch asks for it).
@@ -198,7 +220,6 @@ impl QsvtLinearSolver {
         success_probability: f64,
         rng: &mut R,
     ) -> QsvtSolveResult {
-        let n = b.len();
         // Classical pre-processing: the state-preparation tree of b/‖b‖.
         let prep = StatePreparation::new(b);
         let state_prep_flops = prep.classical_flops;
@@ -215,7 +236,7 @@ impl QsvtLinearSolver {
         }
 
         // Classical post-processing: norm recovery (Remark 2).
-        let a_eta = self.matrix.matvec(&direction);
+        let a_eta = self.operator.matvec(&direction);
         let b_norm = b.norm2();
         let upper = if a_eta.norm2() > 0.0 {
             2.0 * b_norm / a_eta.norm2() * 2.0
@@ -238,7 +259,7 @@ impl QsvtLinearSolver {
         let scale = brent.x;
 
         let solution = direction.scaled(scale);
-        let omega = scaled_residual(&self.matrix, &solution, b);
+        let omega = scaled_residual(&self.operator, &solution, b);
 
         QsvtSolveResult {
             solution,
@@ -252,7 +273,7 @@ impl QsvtLinearSolver {
                 shots,
                 state_prep_flops,
                 brent_evaluations: brent.evaluations,
-                classical_matvec_flops: 2 * n * n,
+                classical_matvec_flops: 2 * self.operator.nnz(),
             },
         }
     }

@@ -38,6 +38,21 @@ impl LcuBlockEncoding {
         Self::new(&a.transpose(), tolerance)
     }
 
+    /// Build the LCU block-encoding of a tridiagonal matrix straight from its
+    /// three diagonals — no dense round-trip; the Pauli decomposition runs on
+    /// the `n + 1` occupied XOR diagonals only
+    /// (see [`PauliDecomposition::decompose_tridiagonal`]).
+    pub fn of_tridiagonal(t: &qls_linalg::TridiagonalMatrix<f64>, tolerance: f64) -> Self {
+        Self::from_decomposition(&PauliDecomposition::decompose_tridiagonal(t, tolerance))
+    }
+
+    /// Build the LCU block-encoding of a CSR sparse matrix from its stored
+    /// entries, in `O(2^n · nnz)` classical preprocessing
+    /// (see [`PauliDecomposition::decompose_sparse`]).
+    pub fn of_sparse(a: &qls_linalg::SparseMatrix<f64>, tolerance: f64) -> Self {
+        Self::from_decomposition(&PauliDecomposition::decompose_sparse(a, tolerance))
+    }
+
     /// Build from an existing Pauli decomposition.
     pub fn from_decomposition(decomposition: &PauliDecomposition) -> Self {
         let n = decomposition.num_qubits;

@@ -7,12 +7,15 @@
 //! forward error between `ω/κ` and `κ ω`; these bounds are implemented here as
 //! well so tests and experiment reports can verify the claim numerically.
 
-use crate::matrix::Matrix;
+use crate::operator::LinearOperator;
 use crate::scalar::Real;
 use crate::vector::Vector;
 
 /// The scaled residual `ω = ‖b − A x̃‖₂ / ‖b‖₂` of a computed solution.
-pub fn scaled_residual<T: Real>(a: &Matrix<T>, x: &Vector<T>, b: &Vector<T>) -> T {
+///
+/// Generic over [`LinearOperator`], so the residual costs O(nnz) on sparse or
+/// matrix-free operators (dense [`crate::Matrix`] callers are unchanged).
+pub fn scaled_residual<T: Real, Op: LinearOperator<T>>(a: &Op, x: &Vector<T>, b: &Vector<T>) -> T {
     let r = b - &a.matvec(x);
     let nb = b.norm2();
     if nb == T::zero() {
@@ -39,7 +42,7 @@ pub fn forward_error<T: Real>(x_computed: &Vector<T>, x_true: &Vector<T>) -> T {
 ///
 /// A solution is "backward stable" when η is of the order of the working
 /// precision, regardless of the conditioning of `A`.
-pub fn backward_error<T: Real>(a: &Matrix<T>, x: &Vector<T>, b: &Vector<T>) -> T {
+pub fn backward_error<T: Real, Op: LinearOperator<T>>(a: &Op, x: &Vector<T>, b: &Vector<T>) -> T {
     let r = b - &a.matvec(x);
     let denom = a.norm_frobenius() * x.norm2() + b.norm2();
     if denom == T::zero() {
@@ -58,8 +61,8 @@ pub fn forward_error_bounds_from_residual<T: Real>(omega: T, kappa: T) -> (T, T)
 /// Verify Eq. (5) for a concrete triple `(A, x̃, b)` with known true solution:
 /// returns `true` when the relative forward error lies inside `[ω/κ·(1−slack),
 /// κ·ω·(1+slack)]`.  A small slack tolerates rounding in the norm computations.
-pub fn check_eq5_bounds<T: Real>(
-    a: &Matrix<T>,
+pub fn check_eq5_bounds<T: Real, Op: LinearOperator<T>>(
+    a: &Op,
     x_computed: &Vector<T>,
     x_true: &Vector<T>,
     b: &Vector<T>,
@@ -78,6 +81,7 @@ mod tests {
     use crate::cond::cond_2;
     use crate::generate::{random_matrix_with_cond, MatrixEnsemble, SingularValueDistribution};
     use crate::lu::lu_solve;
+    use crate::matrix::Matrix;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

@@ -9,8 +9,11 @@
 
 use crate::matrix::Matrix;
 use crate::qr::QrFactorization;
+use crate::sparse::SparseMatrix;
 use crate::vector::Vector;
 use rand::Rng;
+
+pub use crate::stencil::{poisson_2d, poisson_2d_condition_number, poisson_2d_rhs};
 
 /// How the singular values are distributed between 1 and 1/κ.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +176,84 @@ pub fn random_unit_vector<R: Rng>(n: usize, rng: &mut R) -> Vector<f64> {
     }
 }
 
+/// The (weighted) graph Laplacian `L = D − W` of an undirected graph on `n`
+/// vertices, built directly in CSR form: each edge `(u, v, w)` contributes
+/// `+w` to both diagonal entries and `−w` to both off-diagonal couplings.
+/// Parallel edges are merged by the triplet builder (their weights sum).
+///
+/// `L` is symmetric positive **semi**-definite — the constant vector is
+/// always in its null space — so linear solves use
+/// [`shifted_graph_laplacian`] (adds `shift·I`, making the system SPD), the
+/// standard regularisation for graph workloads.
+pub fn graph_laplacian<T: crate::scalar::Real>(
+    n: usize,
+    edges: &[(usize, usize, f64)],
+) -> SparseMatrix<T> {
+    SparseMatrix::from_triplets(n, n, &laplacian_triplets(n, edges))
+}
+
+/// [`graph_laplacian`] plus `shift·I` (symmetric positive definite for any
+/// `shift > 0` — the solvable form of a graph-Laplacian system).
+pub fn shifted_graph_laplacian<T: crate::scalar::Real>(
+    n: usize,
+    edges: &[(usize, usize, f64)],
+    shift: f64,
+) -> SparseMatrix<T> {
+    let mut triplets = laplacian_triplets(n, edges);
+    for i in 0..n {
+        triplets.push((i, i, T::from_f64(shift)));
+    }
+    SparseMatrix::from_triplets(n, n, &triplets)
+}
+
+/// The `L = D − W` triplets shared by the Laplacian builders (duplicate
+/// coordinates are summed by the triplet builder).
+fn laplacian_triplets<T: crate::scalar::Real>(
+    n: usize,
+    edges: &[(usize, usize, f64)],
+) -> Vec<(usize, usize, T)> {
+    let mut triplets: Vec<(usize, usize, T)> = Vec::with_capacity(4 * edges.len() + n);
+    for &(u, v, w) in edges {
+        assert!(
+            u < n && v < n,
+            "graph_laplacian: edge ({u}, {v}) out of range"
+        );
+        assert_ne!(u, v, "graph_laplacian: self-loops are not allowed");
+        let w = T::from_f64(w);
+        triplets.push((u, u, w));
+        triplets.push((v, v, w));
+        triplets.push((u, v, -w));
+        triplets.push((v, u, -w));
+    }
+    triplets
+}
+
+/// A random connected weighted graph: a random spanning tree (vertex `v`
+/// attaches to a uniformly chosen earlier vertex) plus `extra_edges` uniform
+/// random edges, all with weights in `[0.5, 1.5)`.  Duplicate edges are fine
+/// — the Laplacian builders merge them.
+pub fn random_connected_graph<R: Rng>(
+    n: usize,
+    extra_edges: usize,
+    rng: &mut R,
+) -> Vec<(usize, usize, f64)> {
+    assert!(n >= 2, "need at least two vertices");
+    let mut edges = Vec::with_capacity(n - 1 + extra_edges);
+    for v in 1..n {
+        let u = rng.gen_range(0..v);
+        edges.push((u, v, rng.gen_range(0.5..1.5)));
+    }
+    for _ in 0..extra_edges {
+        let u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n - 1);
+        if v >= u {
+            v += 1;
+        }
+        edges.push((u.min(v), u.max(v), rng.gen_range(0.5..1.5)));
+    }
+    edges
+}
+
 /// Generate a right-hand side with a known solution: returns `(b, x_true)`
 /// where `b = A x_true` and `x_true` has uniform entries in [-1, 1].
 pub fn rhs_with_known_solution<R: Rng>(a: &Matrix<f64>, rng: &mut R) -> (Vector<f64>, Vector<f64>) {
@@ -285,6 +366,48 @@ mod tests {
         );
         let (b, x) = rhs_with_known_solution(&a, &mut rng);
         assert!((&a.matvec(&x) - &b).norm2() < 1e-14);
+    }
+
+    #[test]
+    fn graph_laplacian_has_zero_row_sums_and_is_symmetric() {
+        let mut rng = ChaCha8Rng::seed_from_u64(38);
+        let edges = random_connected_graph(12, 8, &mut rng);
+        let l = graph_laplacian::<f64>(12, &edges);
+        let d = l.to_dense();
+        assert!(d.is_symmetric(1e-14));
+        // L * 1 = 0 (the constant null vector).
+        let ones = Vector::ones(12);
+        assert!(l.matvec(&ones).norm2() < 1e-12);
+        // Positive semi-definite: xᵀLx >= 0.
+        for seed in 0..3u64 {
+            let mut r2 = ChaCha8Rng::seed_from_u64(200 + seed);
+            let x = random_unit_vector(12, &mut r2);
+            assert!(x.dot(&l.matvec(&x)) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn shifted_graph_laplacian_is_positive_definite() {
+        let mut rng = ChaCha8Rng::seed_from_u64(39);
+        let edges = random_connected_graph(10, 5, &mut rng);
+        let l = shifted_graph_laplacian::<f64>(10, &edges, 0.5);
+        // Smallest eigenvalue is exactly shift (the constant vector), so the
+        // matrix is comfortably SPD and LU-solvable.
+        let x = crate::lu::lu_solve(&l.to_dense(), &Vector::ones(10)).unwrap();
+        assert!((&l.matvec(&x) - &Vector::ones(10)).norm2() < 1e-10);
+        for seed in 0..3u64 {
+            let mut r2 = ChaCha8Rng::seed_from_u64(300 + seed);
+            let v = random_unit_vector(10, &mut r2);
+            assert!(v.dot(&l.matvec(&v)) >= 0.5 - 1e-10);
+        }
+    }
+
+    #[test]
+    fn parallel_edges_merge_in_the_laplacian() {
+        // The same edge twice behaves like one edge of summed weight.
+        let twice = graph_laplacian::<f64>(3, &[(0, 1, 0.75), (0, 1, 0.25), (1, 2, 1.0)]);
+        let once = graph_laplacian::<f64>(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        assert_eq!(twice.to_dense(), once.to_dense());
     }
 
     #[test]

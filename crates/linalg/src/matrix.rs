@@ -21,7 +21,25 @@ use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 /// threads; the value is deliberately conservative (≈ a few microseconds of
 /// work, comfortably above the per-call spawn cost of the vendored rayon's
 /// thread fan-out).
-const PAR_THRESHOLD: usize = 64 * 64 * 64;
+pub(crate) const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Shared row-partitioned parallel map used by every operator matvec in the
+/// crate (dense, CSR, tridiagonal, stencil): computes `f(i)` for each output
+/// row `i`, fanning out across threads when `work` (total scalar
+/// multiply-adds) reaches [`PAR_THRESHOLD`].  Each output entry depends only
+/// on its own row, so the result is bit-identical at any thread count.
+pub(crate) fn par_map_rows<T: Real>(
+    work: usize,
+    rows: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vector<T> {
+    let data: Vec<T> = if work >= PAR_THRESHOLD {
+        (0..rows).into_par_iter().map(f).collect()
+    } else {
+        (0..rows).map(f).collect()
+    };
+    Vector::from_vec(data)
+}
 
 /// A dense row-major matrix over a [`Real`] scalar type.
 #[derive(Debug, Clone, PartialEq)]
@@ -182,20 +200,12 @@ impl<T: Real> Matrix<T> {
         assert_eq!(self.cols, x.len(), "matvec: dimension mismatch");
         let xs = x.as_slice();
         let work = self.rows * self.cols;
-        let compute_row = |row: &[T]| -> T {
-            row.iter()
+        par_map_rows(work, self.rows, |i| {
+            self.row(i)
+                .iter()
                 .zip(xs)
                 .fold(T::zero(), |acc, (&a, &b)| a.mul_add(b, acc))
-        };
-        let data: Vec<T> = if work >= PAR_THRESHOLD {
-            (0..self.rows)
-                .into_par_iter()
-                .map(|i| compute_row(self.row(i)))
-                .collect()
-        } else {
-            (0..self.rows).map(|i| compute_row(self.row(i))).collect()
-        };
-        Vector::from_vec(data)
+        })
     }
 
     /// Transposed matrix-vector product `Aᵀ x`.

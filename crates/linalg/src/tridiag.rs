@@ -10,8 +10,10 @@
 //! and condition number, and the associated exact solution machinery used by
 //! the Poisson example and benchmarks.
 
-use crate::matrix::Matrix;
+use crate::matrix::{par_map_rows, Matrix};
+use crate::operator::LinearOperator;
 use crate::scalar::Real;
+use crate::sparse::SparseMatrix;
 use crate::vector::Vector;
 
 /// A tridiagonal matrix stored as three diagonals.
@@ -55,22 +57,67 @@ impl<T: Real> TridiagonalMatrix<T> {
         self.diag.len()
     }
 
-    /// Matrix-vector product in O(N).
+    /// Matrix-vector product in O(N), row-partitioned across threads above
+    /// the shared work threshold (the same rayon pattern as
+    /// `Matrix::matvec`; each output row reads only `x[i−1..=i+1]`, so the
+    /// result is bit-identical at any thread count).
     pub fn matvec(&self, x: &Vector<T>) -> Vector<T> {
         let n = self.order();
         assert_eq!(x.len(), n, "tridiagonal matvec: dimension mismatch");
-        let mut y = Vector::zeros(n);
-        for i in 0..n {
-            let mut s = self.diag[i] * x[i];
+        let xs = x.as_slice();
+        par_map_rows(3 * n, n, |i| {
+            let mut s = self.diag[i] * xs[i];
             if i > 0 {
-                s = self.lower[i - 1].mul_add(x[i - 1], s);
+                s = self.lower[i - 1].mul_add(xs[i - 1], s);
             }
             if i + 1 < n {
-                s = self.upper[i].mul_add(x[i + 1], s);
+                s = self.upper[i].mul_add(xs[i + 1], s);
             }
-            y[i] = s;
+            s
+        })
+    }
+
+    /// Transposed matrix-vector product `Tᵀ x` in O(N) (the transpose of a
+    /// tridiagonal matrix swaps the sub- and super-diagonals).
+    pub fn matvec_transposed(&self, x: &Vector<T>) -> Vector<T> {
+        let n = self.order();
+        assert_eq!(
+            x.len(),
+            n,
+            "tridiagonal matvec_transposed: dimension mismatch"
+        );
+        let xs = x.as_slice();
+        par_map_rows(3 * n, n, |i| {
+            let mut s = self.diag[i] * xs[i];
+            if i > 0 {
+                s = self.upper[i - 1].mul_add(xs[i - 1], s);
+            }
+            if i + 1 < n {
+                s = self.lower[i].mul_add(xs[i + 1], s);
+            }
+            s
+        })
+    }
+
+    /// Number of stored diagonal entries (`3N − 2` for N ≥ 1).
+    pub fn nnz(&self) -> usize {
+        self.diag.len() + self.lower.len() + self.upper.len()
+    }
+
+    /// Convert into CSR form (entries in row-major, column-sorted order).
+    pub fn to_sparse(&self) -> SparseMatrix<T> {
+        let n = self.order();
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for i in 0..n {
+            if i > 0 {
+                triplets.push((i, i - 1, self.lower[i - 1]));
+            }
+            triplets.push((i, i, self.diag[i]));
+            if i + 1 < n {
+                triplets.push((i, i + 1, self.upper[i]));
+            }
         }
-        y
+        SparseMatrix::from_triplets(n, n, &triplets)
     }
 
     /// Solve `T x = b` with the Thomas algorithm (no pivoting), O(N) flops.
@@ -120,6 +167,53 @@ impl<T: Real> TridiagonalMatrix<T> {
             }
         }
         m
+    }
+}
+
+impl<T: Real> LinearOperator<T> for TridiagonalMatrix<T> {
+    fn nrows(&self) -> usize {
+        self.order()
+    }
+
+    fn ncols(&self) -> usize {
+        self.order()
+    }
+
+    fn matvec(&self, x: &Vector<T>) -> Vector<T> {
+        TridiagonalMatrix::matvec(self, x)
+    }
+
+    fn matvec_transposed(&self, x: &Vector<T>) -> Vector<T> {
+        TridiagonalMatrix::matvec_transposed(self, x)
+    }
+
+    fn nnz(&self) -> usize {
+        TridiagonalMatrix::nnz(self)
+    }
+
+    fn to_dense(&self) -> Matrix<T> {
+        TridiagonalMatrix::to_dense(self)
+    }
+
+    fn norm_inf(&self) -> T {
+        let n = self.order();
+        (0..n)
+            .map(|i| {
+                let mut s = self.diag[i].abs();
+                if i > 0 {
+                    s += self.lower[i - 1].abs();
+                }
+                if i + 1 < n {
+                    s += self.upper[i].abs();
+                }
+                s
+            })
+            .fold(T::zero(), |acc, s| acc.max(s))
+    }
+
+    fn norm_frobenius(&self) -> T {
+        let sum_sq = |xs: &[T]| xs.iter().fold(T::zero(), |acc, &x| x.mul_add(x, acc));
+        (sum_sq(&self.diag) + sum_sq(&self.lower) + sum_sq(&self.upper)).sqrt()
     }
 }
 
@@ -249,6 +343,42 @@ mod tests {
             prev_err = err;
         }
         assert!(prev_err < 1e-3);
+    }
+
+    #[test]
+    fn transposed_matvec_and_sparse_conversion_match_dense() {
+        let t = TridiagonalMatrix::new(
+            vec![1.0, -2.0, 0.5],
+            vec![4.0, 5.0, 6.0, 7.0],
+            vec![-1.0, 3.0, 2.5],
+        );
+        let d = t.to_dense();
+        let x = Vector::from_f64_slice(&[0.3, -0.9, 1.7, 0.2]);
+        assert!((&t.matvec_transposed(&x) - &d.matvec_transposed(&x)).norm2() < 1e-14);
+        assert_eq!(t.to_sparse().to_dense(), d);
+        assert_eq!(TridiagonalMatrix::nnz(&t), 10);
+        assert_eq!(LinearOperator::norm_inf(&t), d.norm_inf());
+        assert!((LinearOperator::norm_frobenius(&t) - d.norm_frobenius()).abs() < 1e-13);
+    }
+
+    #[test]
+    fn large_matvec_takes_the_parallel_path_unchanged() {
+        // 3N above the shared work threshold: the row-partitioned fan-out
+        // must agree with the dense product (and with any thread count).
+        let n = 100_000usize;
+        let t = poisson_1d::<f64>(n, false);
+        let x: Vector<f64> = (0..n).map(|i| ((i % 97) as f64 / 97.0) - 0.5).collect();
+        let y = t.matvec(&x);
+        for &i in &[0usize, 1, n / 2, n - 2, n - 1] {
+            let mut expect = 2.0 * x[i];
+            if i > 0 {
+                expect -= x[i - 1];
+            }
+            if i + 1 < n {
+                expect -= x[i + 1];
+            }
+            assert!((y[i] - expect).abs() < 1e-12, "row {i}");
+        }
     }
 
     #[test]

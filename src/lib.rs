@@ -7,8 +7,12 @@
 //! The workspace reproduces *"A mixed-precision quantum-classical algorithm
 //! for solving linear systems"* (Koska–Baboulin–Gazda):
 //!
-//! * [`linalg`] (`qls-linalg`) — dense linear algebra, precision emulation,
-//!   classical iterative refinement;
+//! * [`linalg`] (`qls-linalg`) — the classical substrate: dense linear
+//!   algebra, precision emulation, classical iterative refinement, and the
+//!   structured-operator layer (`qls_linalg::operator::LinearOperator` with
+//!   dense / CSR / tridiagonal / matrix-free stencil implementations, so
+//!   residuals and refinement run at O(nnz) on sparse and 2-D Poisson
+//!   problems — dense stays the default and the equivalence oracle);
 //! * [`poly`] (`qls-poly`) — Chebyshev machinery and the Eq. (4) inverse
 //!   polynomial;
 //! * [`sim`] (`qls-sim`) — the state-vector quantum simulator (compiled
@@ -25,8 +29,9 @@
 //!   batched multi-RHS solves via `solve_direction_batch`);
 //! * [`core`] (`qls-core`) — the hybrid solver (Algorithm 2; `HybridRefiner`
 //!   reuses one compiled circuit across all refinement iterations and all
-//!   right-hand sides of `solve_many`), cost models, communication model and
-//!   baselines.
+//!   right-hand sides of `solve_many`, and accepts any `LinearOperator` —
+//!   its classical residual path is O(nnz) on structured problems), cost
+//!   models, communication model and baselines.
 //!
 //! ## Workspace layout
 //!
@@ -61,7 +66,8 @@
 //!
 //! * `cargo run --release --example quickstart` — end-to-end hybrid solve
 //!   (also `poisson1d`, `poisson1d_multirhs` — the batched multi-RHS
-//!   workload — `hhl_vs_qsvt`, `precision_tradeoff`, `circuit_resources`).
+//!   workload — `poisson2d` — the matrix-free 2-D stencil workload —
+//!   `hhl_vs_qsvt`, `precision_tradeoff`, `circuit_resources`).
 //! * `cargo bench` — criterion micro-benchmarks of every substrate
 //!   (`crates/bench/benches/`).
 //! * `cargo run --release -p qls-bench --bin table1` — regenerate Table I;
@@ -92,12 +98,15 @@ pub mod prelude {
         FableBlockEncoding, LcuBlockEncoding, StatePreparation, TridiagBlockEncoding,
     };
     pub use qls_linalg::generate::{
-        random_matrix_with_cond, random_unit_vector, MatrixEnsemble, SingularValueDistribution,
+        graph_laplacian, random_connected_graph, random_matrix_with_cond, random_unit_vector,
+        shifted_graph_laplacian, MatrixEnsemble, SingularValueDistribution,
     };
     pub use qls_linalg::tridiag::{poisson_rhs, sample_on_grid};
     pub use qls_linalg::{
-        backward_error, cond_2, forward_error, poisson_1d, poisson_1d_condition_number,
-        scaled_residual, ClassicalRefiner, Matrix, RefinementOptions, Vector,
+        backward_error, cond_2, cond_2_estimate, forward_error, poisson_1d,
+        poisson_1d_condition_number, poisson_2d, poisson_2d_condition_number, poisson_2d_rhs,
+        scaled_residual, ClassicalRefiner, LinearOperator, Matrix, RefinementOptions, SparseMatrix,
+        StencilOperator, TridiagonalMatrix, Vector,
     };
     pub use qls_poly::{ChebyshevSeries, InversePolynomial};
     pub use qls_qsvt::{QsvtInverter, QsvtMode};
