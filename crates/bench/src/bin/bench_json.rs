@@ -28,7 +28,14 @@
 //!    refinement-loop hot path `r = b − A x` on the 2-D Poisson problem
 //!    through the dense matrix, the CSR operator and the matrix-free stencil
 //!    — the O(N²) vs O(nnz) comparison of the operator layer, at N = 4096
-//!    and N = 16384 on the full preset.
+//!    and N = 16384 on the full preset;
+//! 7. the structured-inner-solve workloads: the classical refiner through the
+//!    inner solver selected by `FactorizableOperator::factorize` — Thomas vs
+//!    the retained densify-LU oracle on 1-D Poisson (N = 16384 on the full
+//!    preset, with a solution-agreement guard), matrix-free Jacobi-CG on 3-D
+//!    Poisson (`StencilNd`), Jacobi-BiCGSTAB on nonsymmetric
+//!    convection-diffusion, and Jacobi-CG on a shifted graph Laplacian at
+//!    N ~ 10^5.
 //!
 //! Usage: `bench_json [--preset small|full] [--out PATH]`.  The `small`
 //! preset shrinks every workload so CI can validate the artifact in seconds;
@@ -36,7 +43,11 @@
 
 use qls_bench::{experiment_rng, layered_circuit, paper_test_system, random_circuit};
 use qls_core::{HybridRefinementOptions, HybridRefiner, QsvtSolverOptions};
-use qls_linalg::{poisson_2d, Vector};
+use qls_linalg::{
+    convection_diffusion_2d, poisson_1d, poisson_2d, poisson_3d, random_connected_graph,
+    shifted_graph_laplacian, ClassicalRefiner, RefinementOptions, SparseMatrix, StencilNd,
+    TridiagonalMatrix, Vector,
+};
 use qls_qsvt::{QsvtInverter, QsvtMode};
 use qls_sim::kernels::reference;
 use qls_sim::{circuit_compile_count, circuit_unitary, OptLevel, StateVector};
@@ -61,6 +72,19 @@ struct Preset {
     /// Square 2-D Poisson grid sides for the structured-residual workload
     /// (N = side²).
     sparse_grids: [usize; 2],
+    /// 1-D Poisson order for the structured-inner-solve workload (Thomas vs
+    /// densify-LU inside the classical refiner).
+    inner_tridiag_n: usize,
+    /// Cubic 3-D Poisson grid side for the matrix-free CG refinement
+    /// workload (N = side³).
+    poisson3d_grid: usize,
+    /// Square convection-diffusion grid side for the BiCGSTAB refinement
+    /// workload (N = side²).
+    convdiff_grid: usize,
+    /// Vertex count of the shifted-graph-Laplacian refinement workload.
+    graph_n: usize,
+    /// Extra random edges on top of the spanning tree of the graph workload.
+    graph_extra_edges: usize,
 }
 
 const FULL: Preset = Preset {
@@ -78,6 +102,11 @@ const FULL: Preset = Preset {
     refine_target: 1e-10,
     multi_rhs: 8,
     sparse_grids: [64, 128], // N = 4096 and N = 16384
+    inner_tridiag_n: 16384,
+    poisson3d_grid: 24, // N = 13824
+    convdiff_grid: 64,  // N = 4096
+    graph_n: 100_000,
+    graph_extra_edges: 300_000,
 };
 
 const SMALL: Preset = Preset {
@@ -95,6 +124,11 @@ const SMALL: Preset = Preset {
     refine_target: 1e-6,
     multi_rhs: 3,
     sparse_grids: [16, 32], // N = 256 and N = 1024: seconds, not minutes, in CI
+    inner_tridiag_n: 1024,
+    poisson3d_grid: 8, // N = 512
+    convdiff_grid: 16, // N = 256
+    graph_n: 2000,
+    graph_extra_edges: 6000,
 };
 
 /// Minimum over `reps` timed runs of `f`, in seconds.
@@ -370,6 +404,189 @@ fn main() {
         );
     }
 
+    // -- Workload 7: structured inner solvers (the end of the densify wall) --
+    // The whole classical refiner — factorisation *and* solve — through the
+    // structured inner solver selected by `FactorizableOperator::factorize`
+    // vs the retained densify + dense-LU oracle.  On the 1-D Poisson problem
+    // the comparison is Thomas (O(N)) vs a densified O(N²) factorisation; at
+    // N = 16384 the dense copy alone is ~2 GiB.  Both paths refine to the
+    // same target, and an agreement guard pins their solutions together.
+    let mut structured_json = String::new();
+    {
+        let n = preset.inner_tridiag_n;
+        // f64 inner: at this size the 1-D Poisson kappa ~ N² overwhelms an
+        // f32 inner solve (epsilon_l * kappa > 1), so both sides run the
+        // uniform-precision configuration — the comparison is about the
+        // factorisation cost, not the precision gap.
+        let opts = RefinementOptions {
+            target_scaled_residual: 1e-12,
+            max_iterations: 40,
+            ..Default::default()
+        };
+        let tri = poisson_1d::<f64>(n, false);
+        let b: Vector<f64> = (0..n).map(|i| ((i % 97) as f64 / 97.0) - 0.5).collect();
+        let solve_structured = || {
+            let refiner = ClassicalRefiner::<f64, f64, TridiagonalMatrix<f64>>::new(&tri, opts)
+                .expect("structured refiner");
+            refiner.solve(&b).expect("structured solve").0
+        };
+        let solve_densify = || {
+            let refiner =
+                ClassicalRefiner::<f64, f64, TridiagonalMatrix<f64>>::with_dense_lu(&tri, opts)
+                    .expect("densify-LU refiner");
+            refiner.solve(&b).expect("densify-LU solve").0
+        };
+        let x_structured = solve_structured();
+        let x_densify = solve_densify();
+        let agreement = (&x_structured - &x_densify).norm2() / x_densify.norm2();
+        assert!(
+            agreement <= 1e-10,
+            "structured and densify-LU refiners disagree by {agreement:e}"
+        );
+        let structured_secs = time_min(3, || {
+            std::hint::black_box(solve_structured());
+        });
+        let densify_secs = time_min(2, || {
+            std::hint::black_box(solve_densify());
+        });
+        let inner_speedup = densify_secs / structured_secs;
+        eprintln!(
+            "  structured_inner_solve N={n} (1-D Poisson, thomas vs densify-LU): \
+             structured {structured_secs:.6}s, densify-LU {densify_secs:.6}s \
+             ({inner_speedup:.1}x), agreement {agreement:.2e}"
+        );
+        let _ = write!(
+            structured_json,
+            r#",
+    {{
+      "name": "structured_inner_solve",
+      "matrix_size": {n},
+      "inner_solver": "thomas",
+      "structured_solve_seconds": {structured_secs:.6},
+      "densify_lu_solve_seconds": {densify_secs:.6},
+      "structured_vs_densify_speedup": {inner_speedup:.3},
+      "solution_agreement": {agreement:.3e}
+    }}"#
+        );
+    }
+
+    // 3-D Poisson through the d-dimensional stencil: matrix-free Jacobi-CG
+    // inner solves at f32, true mixed precision (epsilon_l * kappa << 1).
+    {
+        let g = preset.poisson3d_grid;
+        let n = g * g * g;
+        let opts = RefinementOptions {
+            target_scaled_residual: 1e-12,
+            max_iterations: 40,
+            ..Default::default()
+        };
+        let a = poisson_3d::<f64>(g, g, g, false);
+        let b: Vector<f64> = (0..n).map(|i| ((i % 89) as f64 / 89.0) - 0.5).collect();
+        let refiner =
+            ClassicalRefiner::<f64, f32, StencilNd<f64>>::new(&a, opts).expect("3-D refiner");
+        let (_, history) = refiner.solve(&b).expect("3-D solve");
+        let iterations = history.iterations();
+        let solve_secs = time_min(3, || {
+            std::hint::black_box(refiner.solve(&b).expect("3-D solve"));
+        });
+        eprintln!(
+            "  poisson3d_refinement N={n} (grid {g}^3, jacobi-cg inner): \
+             {solve_secs:.6}s, {iterations} iterations"
+        );
+        let _ = write!(
+            structured_json,
+            r#",
+    {{
+      "name": "poisson3d_refinement",
+      "matrix_size": {n},
+      "grid": {g},
+      "inner_solver": "jacobi-cg",
+      "iterations": {iterations},
+      "solve_seconds": {solve_secs:.6}
+    }}"#
+        );
+    }
+
+    // Nonsymmetric convection-diffusion: the BiCGSTAB inner path.
+    {
+        let g = preset.convdiff_grid;
+        let n = g * g;
+        let (px, py) = (0.5, 0.25);
+        let opts = RefinementOptions {
+            target_scaled_residual: 1e-12,
+            max_iterations: 40,
+            ..Default::default()
+        };
+        let a = convection_diffusion_2d::<f64>(g, g, px, py);
+        let b: Vector<f64> = (0..n).map(|i| ((i % 83) as f64 / 83.0) - 0.5).collect();
+        let refiner =
+            ClassicalRefiner::<f64, f32, SparseMatrix<f64>>::new(&a, opts).expect("cd refiner");
+        let (_, history) = refiner.solve(&b).expect("cd solve");
+        let iterations = history.iterations();
+        let solve_secs = time_min(3, || {
+            std::hint::black_box(refiner.solve(&b).expect("cd solve"));
+        });
+        eprintln!(
+            "  convection_diffusion_refinement N={n} (grid {g}x{g}, peclet ({px}, {py}), \
+             jacobi-bicgstab inner): {solve_secs:.6}s, {iterations} iterations"
+        );
+        let _ = write!(
+            structured_json,
+            r#",
+    {{
+      "name": "convection_diffusion_refinement",
+      "matrix_size": {n},
+      "grid": {g},
+      "peclet_x": {px},
+      "peclet_y": {py},
+      "inner_solver": "jacobi-bicgstab",
+      "iterations": {iterations},
+      "solve_seconds": {solve_secs:.6}
+    }}"#
+        );
+    }
+
+    // Shifted graph Laplacian at N ~ 10^5: matrix-free CG at a scale where a
+    // dense copy (N² doubles) would not even fit in memory comfortably.
+    {
+        let n = preset.graph_n;
+        let opts = RefinementOptions {
+            target_scaled_residual: 1e-12,
+            max_iterations: 40,
+            ..Default::default()
+        };
+        let edges = {
+            let mut rng = experiment_rng(23);
+            random_connected_graph(n, preset.graph_extra_edges, &mut rng)
+        };
+        let a: SparseMatrix<f64> = shifted_graph_laplacian(n, &edges, 0.5);
+        let nnz = a.nnz();
+        let b: Vector<f64> = (0..n).map(|i| ((i % 79) as f64 / 79.0) - 0.5).collect();
+        let refiner =
+            ClassicalRefiner::<f64, f32, SparseMatrix<f64>>::new(&a, opts).expect("graph refiner");
+        let (_, history) = refiner.solve(&b).expect("graph solve");
+        let iterations = history.iterations();
+        let solve_secs = time_min(3, || {
+            std::hint::black_box(refiner.solve(&b).expect("graph solve"));
+        });
+        eprintln!(
+            "  graph_laplacian_refinement N={n} (nnz {nnz}, jacobi-cg inner): \
+             {solve_secs:.6}s, {iterations} iterations"
+        );
+        let _ = write!(
+            structured_json,
+            r#",
+    {{
+      "name": "graph_laplacian_refinement",
+      "matrix_size": {n},
+      "nnz": {nnz},
+      "inner_solver": "jacobi-cg",
+      "iterations": {iterations},
+      "solve_seconds": {solve_secs:.6}
+    }}"#
+        );
+    }
+
     // -- Emit JSON -----------------------------------------------------------
     let unix_seconds = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -438,7 +655,7 @@ fn main() {
       "batched_seconds": {batched_secs:.6},
       "sequential_seconds": {sequential_secs:.6},
       "batched_vs_sequential_speedup": {batch_speedup:.3}
-    }}{sparse_json}
+    }}{sparse_json}{structured_json}
   ]
 }}
 "#,

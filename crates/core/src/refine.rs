@@ -155,10 +155,13 @@ impl HybridHistory {
 /// residual `r = b − A x` recomputed every iteration — goes through the
 /// operator, so a CSR / tridiagonal / stencil operator makes the hot
 /// classical path O(nnz) instead of O(N²); only the one-time quantum-side
-/// construction in `new` densifies.  Because the CSR and stencil matvecs are
-/// bit-identical to the dense kernel, refining over a structured operator
-/// reproduces the dense convergence history float for float (see the
-/// operator-equivalence tests).
+/// construction in `new` densifies (the inner correction solves are the QSVT
+/// circuit, not a classical factorization, so after construction no step of
+/// `solve` / `solve_many` ever materialises a dense matrix — asserted by the
+/// `hybrid_refiner_never_densifies_after_construction` operator-equivalence
+/// test).  Because the CSR and stencil matvecs are bit-identical to the dense
+/// kernel, refining over a structured operator reproduces the dense
+/// convergence history float for float (see the operator-equivalence tests).
 pub struct HybridRefiner<Op: LinearOperator<f64> = Matrix<f64>> {
     operator: Op,
     solver: QsvtLinearSolver<Op>,

@@ -254,6 +254,78 @@ pub fn random_connected_graph<R: Rng>(
     edges
 }
 
+/// The 1-D convection-diffusion operator `−u'' + p·u'` on a uniform grid with
+/// Dirichlet boundaries, centrally differenced and scaled by `h²`: the
+/// tridiagonal matrix with rows `(−1 − p/2, 2, −1 + p/2)` where `p` is the
+/// mesh Péclet number `c·h`.  Nonsymmetric for any `p ≠ 0` — the canonical
+/// small workload for the transposed solves and the BiCGSTAB inner path.  For
+/// `|p| < 2` the matrix is (weakly) row diagonally dominant and all
+/// eigenvalues `2 − 2·√((1−p/2)(1+p/2))·cos(kπ/(n+1))` are real and positive.
+pub fn convection_diffusion_1d<T: crate::scalar::Real>(
+    n: usize,
+    peclet: f64,
+) -> crate::tridiag::TridiagonalMatrix<T> {
+    assert!(n >= 1, "convection_diffusion_1d: empty grid");
+    assert!(
+        peclet.abs() < 2.0,
+        "convection_diffusion_1d: |peclet| must be < 2 for a stable central scheme"
+    );
+    let lower = T::from_f64(-1.0 - peclet / 2.0);
+    let upper = T::from_f64(-1.0 + peclet / 2.0);
+    crate::tridiag::TridiagonalMatrix::new(
+        vec![lower; n.saturating_sub(1)],
+        vec![T::from_f64(2.0); n],
+        vec![upper; n.saturating_sub(1)],
+    )
+}
+
+/// The 2-D convection-diffusion operator `−Δu + (cx, cy)·∇u` on an
+/// `nx × ny` interior grid (Dirichlet boundaries, central differences,
+/// scaled by `h²`), built directly in CSR form.  With mesh Péclet numbers
+/// `px = cx·h` and `py = cy·h` the five-point rows are
+/// `center 4`, `west −1 − px/2`, `east −1 + px/2`,
+/// `south −1 − py/2`, `north −1 + py/2` — nonsymmetric whenever either
+/// Péclet number is nonzero.  Grid point `(ix, iy)` maps to row
+/// `ix·ny + iy` (row-major, matching [`crate::stencil::poisson_2d`]).
+pub fn convection_diffusion_2d<T: crate::scalar::Real>(
+    nx: usize,
+    ny: usize,
+    peclet_x: f64,
+    peclet_y: f64,
+) -> SparseMatrix<T> {
+    assert!(nx >= 1 && ny >= 1, "convection_diffusion_2d: empty grid");
+    assert!(
+        peclet_x.abs() < 2.0 && peclet_y.abs() < 2.0,
+        "convection_diffusion_2d: mesh Péclet numbers must satisfy |p| < 2"
+    );
+    let n = nx * ny;
+    let west = T::from_f64(-1.0 - peclet_x / 2.0);
+    let east = T::from_f64(-1.0 + peclet_x / 2.0);
+    let south = T::from_f64(-1.0 - peclet_y / 2.0);
+    let north = T::from_f64(-1.0 + peclet_y / 2.0);
+    let center = T::from_f64(4.0);
+    let mut triplets: Vec<(usize, usize, T)> = Vec::with_capacity(5 * n);
+    for ix in 0..nx {
+        for iy in 0..ny {
+            let k = ix * ny + iy;
+            if ix > 0 {
+                triplets.push((k, k - ny, west));
+            }
+            if iy > 0 {
+                triplets.push((k, k - 1, south));
+            }
+            triplets.push((k, k, center));
+            if iy + 1 < ny {
+                triplets.push((k, k + 1, north));
+            }
+            if ix + 1 < nx {
+                triplets.push((k, k + ny, east));
+            }
+        }
+    }
+    SparseMatrix::from_triplets(n, n, &triplets)
+}
+
 /// Generate a right-hand side with a known solution: returns `(b, x_true)`
 /// where `b = A x_true` and `x_true` has uniform entries in [-1, 1].
 pub fn rhs_with_known_solution<R: Rng>(a: &Matrix<f64>, rng: &mut R) -> (Vector<f64>, Vector<f64>) {
@@ -408,6 +480,42 @@ mod tests {
         let twice = graph_laplacian::<f64>(3, &[(0, 1, 0.75), (0, 1, 0.25), (1, 2, 1.0)]);
         let once = graph_laplacian::<f64>(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
         assert_eq!(twice.to_dense(), once.to_dense());
+    }
+
+    #[test]
+    fn convection_diffusion_1d_is_nonsymmetric_with_dominant_rows() {
+        let t = convection_diffusion_1d::<f64>(6, 0.8);
+        let a = t.to_dense();
+        // Row pattern (−1.4, 2, −0.6): nonsymmetric, weakly dominant.
+        assert_eq!(a[(1, 0)], -1.4);
+        assert_eq!(a[(1, 1)], 2.0);
+        assert_eq!(a[(1, 2)], -0.6);
+        assert!(a.max_abs_diff(&a.transpose()) > 0.5);
+        // peclet = 0 recovers the 1-D Poisson matrix exactly.
+        let p0 = convection_diffusion_1d::<f64>(6, 0.0).to_dense();
+        assert_eq!(p0, crate::tridiag::poisson_1d::<f64>(6, false).to_dense());
+    }
+
+    #[test]
+    fn convection_diffusion_2d_reduces_to_poisson_at_zero_peclet() {
+        let cd = convection_diffusion_2d::<f64>(4, 3, 0.0, 0.0);
+        let poisson = crate::stencil::poisson_2d::<f64>(4, 3, false).to_sparse();
+        assert_eq!(cd.to_dense(), poisson.to_dense());
+    }
+
+    #[test]
+    fn convection_diffusion_2d_couples_the_grid_directionally() {
+        let (nx, ny) = (3, 4);
+        let a = convection_diffusion_2d::<f64>(nx, ny, 0.5, -0.25);
+        let d = a.to_dense();
+        // Interior point (1, 1) → row 1·ny + 1 = 5.
+        let k = ny + 1;
+        assert_eq!(d[(k, k)], 4.0);
+        assert_eq!(d[(k, k - ny)], -1.25); // west  (−1 − px/2)
+        assert_eq!(d[(k, k + ny)], -0.75); // east  (−1 + px/2)
+        assert_eq!(d[(k, k - 1)], -0.875); // south (−1 − py/2)
+        assert_eq!(d[(k, k + 1)], -1.125); // north (−1 + py/2)
+        assert!(!a.is_symmetric());
     }
 
     #[test]

@@ -18,18 +18,32 @@
 //! * dense [`Matrix`](matrix::Matrix) and [`Vector`](vector::Vector) types with
 //!   the usual kernels (mat-vec, mat-mat, transpose, norms);
 //! * the structured-operator layer ([`operator`]): the
-//!   [`LinearOperator`](operator::LinearOperator) trait with four
+//!   [`LinearOperator`](operator::LinearOperator) trait with five
 //!   implementations — dense [`Matrix`](matrix::Matrix), CSR
 //!   [`SparseMatrix`](sparse::SparseMatrix) (triplet builder, parallel
-//!   row-partitioned SpMV), [`TridiagonalMatrix`](tridiag::TridiagonalMatrix)
-//!   and the matrix-free [`StencilOperator`](stencil::StencilOperator)
-//!   (Kronecker-sum Laplacians, e.g. 2-D Poisson) — so residuals, refinement
-//!   and condition estimation run at O(nnz) on structured problems, with
-//!   dense retained as the default and as the equivalence oracle;
+//!   row-partitioned SpMV), [`TridiagonalMatrix`](tridiag::TridiagonalMatrix),
+//!   the matrix-free [`StencilOperator`](stencil::StencilOperator)
+//!   (Kronecker-sum Laplacians, e.g. 2-D Poisson) and its d-dimensional
+//!   generalisation [`StencilNd`](stencil::StencilNd) (3-D Poisson and
+//!   beyond) — so residuals, refinement and condition estimation run at
+//!   O(nnz) on structured problems, with dense retained as the default and as
+//!   the equivalence oracle;
+//! * the structured inner-solver layer ([`inner`]): the
+//!   [`FactorizableOperator`](inner::FactorizableOperator) trait maps each
+//!   operator to its natural low-precision correction solver — dense LU for
+//!   [`Matrix`](matrix::Matrix), the O(N) Thomas factorisation (with pivot
+//!   breakdown detection and dense-LU rescue) for
+//!   [`TridiagonalMatrix`](tridiag::TridiagonalMatrix), and matrix-free
+//!   Jacobi-preconditioned CG / BiCGSTAB for CSR and stencil operators — so
+//!   no classical refinement path densifies an O(N²) matrix above the
+//!   small-N fallback threshold
+//!   ([`DENSIFY_FALLBACK_MAX`](inner::DENSIFY_FALLBACK_MAX));
 //! * LU factorisation with partial pivoting ([`lu`]), Householder QR ([`qr`]),
 //!   one-sided Jacobi SVD ([`svd`]) and condition-number computation ([`cond`],
-//!   including the matrix-free power-iteration estimate
-//!   [`cond_2_estimate`](cond::cond_2_estimate));
+//!   including the matrix-free Lanczos estimate
+//!   [`cond_2_estimate`](cond::cond_2_estimate), robust on clustered spectra
+//!   where the legacy power iteration
+//!   [`cond_2_estimate_power`](cond::cond_2_estimate_power) stalls);
 //! * matrix generators ([`generate`]): random matrices with prescribed
 //!   condition number / singular-value distribution, the 1-D Poisson
 //!   tridiagonal matrix of Eq. (7) of the paper, the 2-D Poisson stencil
@@ -46,6 +60,7 @@ pub mod brent;
 pub mod cond;
 pub mod error;
 pub mod generate;
+pub mod inner;
 pub mod lu;
 pub mod matrix;
 pub mod operator;
@@ -60,11 +75,16 @@ pub mod tridiag;
 pub mod vector;
 
 pub use brent::{brent_minimize, brent_root, BrentResult};
-pub use cond::{cond_1_estimate, cond_2, cond_2_estimate, cond_inf};
+pub use cond::{cond_1_estimate, cond_2, cond_2_estimate, cond_2_estimate_power, cond_inf};
 pub use error::{backward_error, forward_error, scaled_residual};
 pub use generate::{
-    graph_laplacian, random_connected_graph, random_matrix_with_cond, random_unit_vector,
-    shifted_graph_laplacian, MatrixEnsemble, SingularValueDistribution,
+    convection_diffusion_1d, convection_diffusion_2d, graph_laplacian, random_connected_graph,
+    random_matrix_with_cond, random_unit_vector, shifted_graph_laplacian, MatrixEnsemble,
+    SingularValueDistribution,
+};
+pub use inner::{
+    BiCgStabSolver, ConjugateGradientSolver, DenseLuSolver, FactorizableOperator, InnerSolver,
+    InnerSolverKind, ThomasFactorization, DENSIFY_FALLBACK_MAX,
 };
 pub use lu::LuFactorization;
 pub use matrix::Matrix;
@@ -75,8 +95,9 @@ pub use refine::{ClassicalRefiner, RefinementHistory, RefinementOptions, Refinem
 pub use scalar::Real;
 pub use sparse::SparseMatrix;
 pub use stencil::{
-    poisson_2d, poisson_2d_condition_number, poisson_2d_eigenvalues, poisson_2d_rhs,
-    StencilOperator,
+    poisson_2d, poisson_2d_condition_number, poisson_2d_eigenvalues, poisson_2d_rhs, poisson_3d,
+    poisson_3d_condition_number, poisson_3d_rhs, poisson_nd, poisson_nd_condition_number,
+    StencilNd, StencilOperator,
 };
 pub use svd::Svd;
 pub use tridiag::{

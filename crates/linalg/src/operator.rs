@@ -14,7 +14,7 @@
 //! default — and as the equivalence oracle the structured implementations are
 //! property-tested against (mirroring `qls_sim::kernels::reference`).
 //!
-//! Four implementations ship with the crate:
+//! Five implementations ship with the crate:
 //!
 //! | type | storage | matvec cost |
 //! |------|---------|-------------|
@@ -22,6 +22,12 @@
 //! | [`crate::sparse::SparseMatrix`] | CSR | O(nnz), row-parallel |
 //! | [`crate::tridiag::TridiagonalMatrix`] | three diagonals | O(N), row-parallel |
 //! | [`crate::stencil::StencilOperator`] | five scalars (matrix-free) | O(N), row-parallel |
+//! | [`crate::stencil::StencilNd`] | `2d + 1` scalars (matrix-free, d-dim) | O(d·N), row-parallel |
+//!
+//! Each of the five also implements
+//! [`crate::inner::FactorizableOperator`], which maps the representation to
+//! its structured low-precision inner solver (Thomas, Jacobi-CG/BiCGSTAB,
+//! dense LU) so the refinement loops never densify structured operators.
 //!
 //! Algorithms that genuinely need explicit entries (LU factorisation, SVD,
 //! block-encoding synthesis) bridge through [`LinearOperator::to_dense`]; the

@@ -192,6 +192,29 @@ impl<T: Real> SparseMatrix<T> {
         out
     }
 
+    /// The main diagonal as a dense vector (absent entries are zero).
+    pub fn diagonal(&self) -> Vector<T> {
+        let n = self.rows.min(self.cols);
+        let mut d = Vector::zeros(n);
+        for i in 0..n {
+            let (cols, vals) = self.row(i);
+            if let Ok(k) = cols.binary_search(&i) {
+                d[i] = vals[k];
+            }
+        }
+        d
+    }
+
+    /// Exact symmetry check: the matrix equals its transpose entry for entry.
+    ///
+    /// O(nnz log nnz) (one transpose rebuild); both sides are in canonical
+    /// CSR form (sorted columns, no duplicates), so structural equality is
+    /// exact symmetry.  Used by the inner-solver selection to decide between
+    /// CG and BiCGSTAB.
+    pub fn is_symmetric(&self) -> bool {
+        self.rows == self.cols && *self == self.transpose()
+    }
+
     /// The explicit transpose, still in CSR.
     pub fn transpose(&self) -> Self {
         let triplets: Vec<(usize, usize, T)> =

@@ -10,6 +10,8 @@
 //! and condition number, and the associated exact solution machinery used by
 //! the Poisson example and benchmarks.
 
+use crate::inner::InnerSolver;
+use crate::lu::LinalgError;
 use crate::matrix::{par_map_rows, Matrix};
 use crate::operator::LinearOperator;
 use crate::scalar::Real;
@@ -120,37 +122,41 @@ impl<T: Real> TridiagonalMatrix<T> {
         SparseMatrix::from_triplets(n, n, &triplets)
     }
 
-    /// Solve `T x = b` with the Thomas algorithm (no pivoting), O(N) flops.
+    /// Solve `T x = b` with the Thomas algorithm (no pivoting), O(N) flops,
+    /// reporting pivot breakdown instead of silently returning inf/NaN.
     ///
-    /// Valid for diagonally dominant or symmetric positive definite
-    /// tridiagonal systems such as the Poisson matrix.
+    /// Thomas does not pivot, so a pivot with magnitude at or below the
+    /// scaled threshold `4·u·max|entry|` means the elimination is about to
+    /// amplify rounding errors unboundedly (or divide by zero outright, as
+    /// for the perfectly conditioned `[[0,1],[1,0]]`).  Such systems return
+    /// [`LinalgError::Singular`]; the inner-solver layer
+    /// ([`crate::inner::FactorizableOperator`]) reacts by falling back to
+    /// pivoted dense LU.
+    pub fn try_solve_thomas(&self, b: &Vector<T>) -> Result<Vector<T>, LinalgError> {
+        crate::inner::ThomasFactorization::new(self)?.solve(b)
+    }
+
+    /// Infallible Thomas solve for systems known to be safe without pivoting
+    /// (diagonally dominant or symmetric positive definite, such as the
+    /// Poisson matrix).
+    ///
+    /// # Panics
+    /// Panics on pivot breakdown or a dimension mismatch — use
+    /// [`TridiagonalMatrix::try_solve_thomas`] when the input is not known to
+    /// be diagonally dominant / SPD.
     pub fn solve_thomas(&self, b: &Vector<T>) -> Vector<T> {
-        let n = self.order();
-        assert_eq!(b.len(), n, "thomas: dimension mismatch");
-        if n == 0 {
-            return Vector::zeros(0);
+        self.try_solve_thomas(b)
+            .expect("Thomas breakdown: matrix is not safe for unpivoted elimination (use try_solve_thomas or factorize)")
+    }
+
+    /// Entrywise conversion to another precision.
+    pub fn convert<S: Real>(&self) -> TridiagonalMatrix<S> {
+        let conv = |xs: &[T]| xs.iter().map(|&x| S::from_f64(x.to_f64())).collect();
+        TridiagonalMatrix {
+            lower: conv(&self.lower),
+            diag: conv(&self.diag),
+            upper: conv(&self.upper),
         }
-        let mut cp = vec![T::zero(); n];
-        let mut dp = vec![T::zero(); n];
-        cp[0] = if n > 1 {
-            self.upper[0] / self.diag[0]
-        } else {
-            T::zero()
-        };
-        dp[0] = b[0] / self.diag[0];
-        for i in 1..n {
-            let m = self.diag[i] - self.lower[i - 1] * cp[i - 1];
-            if i + 1 < n {
-                cp[i] = self.upper[i] / m;
-            }
-            dp[i] = (b[i] - self.lower[i - 1] * dp[i - 1]) / m;
-        }
-        let mut x = Vector::zeros(n);
-        x[n - 1] = dp[n - 1];
-        for i in (0..n - 1).rev() {
-            x[i] = dp[i] - cp[i] * x[i + 1];
-        }
-        x
     }
 
     /// Densify into a full matrix.
@@ -389,5 +395,32 @@ mod tests {
         assert_eq!(x.as_slice(), &[2.0]);
         let t0 = TridiagonalMatrix::<f64>::constant(0, 0.0, 0.0, 0.0);
         assert_eq!(t0.order(), 0);
+        assert_eq!(t0.try_solve_thomas(&Vector::zeros(0)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn thomas_breakdown_is_an_error_not_nan() {
+        // [[0, 1], [1, 0]] is nonsingular but has a zero first pivot: the old
+        // unguarded sweep returned NaN here.
+        let t = TridiagonalMatrix::new(vec![1.0], vec![0.0, 0.0], vec![1.0]);
+        let b = Vector::from_f64_slice(&[1.0, 2.0]);
+        assert!(matches!(
+            t.try_solve_thomas(&b),
+            Err(LinalgError::Singular { step: 0 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "Thomas breakdown")]
+    fn infallible_wrapper_panics_on_breakdown() {
+        let t = TridiagonalMatrix::new(vec![1.0], vec![0.0, 0.0], vec![1.0]);
+        t.solve_thomas(&Vector::from_f64_slice(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn conversion_round_trips_through_f32() {
+        let t = poisson_1d::<f64>(6, false);
+        let low: TridiagonalMatrix<f32> = t.convert();
+        assert_eq!(low.to_dense(), t.to_dense().convert());
     }
 }

@@ -93,7 +93,7 @@ fn main() {
         println!("  {}", row.join("  "));
     }
 
-    // The matrix-free condition estimate (power iteration, O(nnz) per step)
+    // The matrix-free condition estimate (Lanczos on AᵀA, O(nnz) per step)
     // vs the analytic value.
     let kappa_est = cond_2_estimate(&stencil, 20_000, 1e-12);
     println!(

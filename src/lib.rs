@@ -8,11 +8,16 @@
 //! for solving linear systems"* (Koska–Baboulin–Gazda):
 //!
 //! * [`linalg`] (`qls-linalg`) — the classical substrate: dense linear
-//!   algebra, precision emulation, classical iterative refinement, and the
+//!   algebra, precision emulation, classical iterative refinement, the
 //!   structured-operator layer (`qls_linalg::operator::LinearOperator` with
-//!   dense / CSR / tridiagonal / matrix-free stencil implementations, so
-//!   residuals and refinement run at O(nnz) on sparse and 2-D Poisson
-//!   problems — dense stays the default and the equivalence oracle);
+//!   dense / CSR / tridiagonal / matrix-free stencil implementations, now
+//!   including the d-dimensional `StencilNd` for 3-D Poisson) and the
+//!   structured inner-solver layer
+//!   (`qls_linalg::inner::FactorizableOperator`: Thomas for tridiagonal,
+//!   Jacobi-CG / BiCGSTAB for CSR and stencils, dense LU retained as the
+//!   oracle), so residuals, refinement *and the low-precision correction
+//!   solves* all run at O(nnz) on structured problems — no classical
+//!   refinement path densifies an O(N²) matrix;
 //! * [`poly`] (`qls-poly`) — Chebyshev machinery and the Eq. (4) inverse
 //!   polynomial;
 //! * [`sim`] (`qls-sim`) — the state-vector quantum simulator (compiled
@@ -98,15 +103,18 @@ pub mod prelude {
         FableBlockEncoding, LcuBlockEncoding, StatePreparation, TridiagBlockEncoding,
     };
     pub use qls_linalg::generate::{
-        graph_laplacian, random_connected_graph, random_matrix_with_cond, random_unit_vector,
-        shifted_graph_laplacian, MatrixEnsemble, SingularValueDistribution,
+        convection_diffusion_1d, convection_diffusion_2d, graph_laplacian, random_connected_graph,
+        random_matrix_with_cond, random_unit_vector, shifted_graph_laplacian, MatrixEnsemble,
+        SingularValueDistribution,
     };
     pub use qls_linalg::tridiag::{poisson_rhs, sample_on_grid};
     pub use qls_linalg::{
         backward_error, cond_2, cond_2_estimate, forward_error, poisson_1d,
         poisson_1d_condition_number, poisson_2d, poisson_2d_condition_number, poisson_2d_rhs,
-        scaled_residual, ClassicalRefiner, LinearOperator, Matrix, RefinementOptions, SparseMatrix,
-        StencilOperator, TridiagonalMatrix, Vector,
+        poisson_3d, poisson_3d_condition_number, poisson_3d_rhs, scaled_residual, ClassicalRefiner,
+        FactorizableOperator, InnerSolver, InnerSolverKind, LinearOperator, Matrix,
+        RefinementOptions, SparseMatrix, StencilNd, StencilOperator, TridiagonalMatrix, Vector,
+        DENSIFY_FALLBACK_MAX,
     };
     pub use qls_poly::{ChebyshevSeries, InversePolynomial};
     pub use qls_qsvt::{QsvtInverter, QsvtMode};

@@ -8,7 +8,68 @@
 //! the dense kernel, so swapping the representation changes *nothing* about
 //! the computed floats — only the cost of computing them.
 
+use qls::linalg::lu::LinalgError;
+use qls::linalg::Real;
 use qls::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Operator wrapper that counts every `to_dense` call — the probe behind the
+/// "no classical refinement path densifies a structured operator" guarantee.
+#[derive(Clone, Debug)]
+struct DensifyCounter<Op> {
+    inner: Op,
+    densify_calls: Arc<AtomicUsize>,
+}
+
+impl<Op> DensifyCounter<Op> {
+    fn new(inner: Op) -> Self {
+        DensifyCounter {
+            inner,
+            densify_calls: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    fn densify_count(&self) -> usize {
+        self.densify_calls.load(Ordering::SeqCst)
+    }
+}
+
+impl<Op: LinearOperator<f64>> LinearOperator<f64> for DensifyCounter<Op> {
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+    fn matvec(&self, x: &Vector<f64>) -> Vector<f64> {
+        self.inner.matvec(x)
+    }
+    fn matvec_transposed(&self, x: &Vector<f64>) -> Vector<f64> {
+        self.inner.matvec_transposed(x)
+    }
+    fn nnz(&self) -> usize {
+        self.inner.nnz()
+    }
+    fn to_dense(&self) -> Matrix<f64> {
+        self.densify_calls.fetch_add(1, Ordering::SeqCst);
+        self.inner.to_dense()
+    }
+    fn norm_inf(&self) -> f64 {
+        self.inner.norm_inf()
+    }
+    fn norm_frobenius(&self) -> f64 {
+        self.inner.norm_frobenius()
+    }
+}
+
+impl<Op: FactorizableOperator<f64>> FactorizableOperator<f64> for DensifyCounter<Op> {
+    fn factorize<L: Real>(&self) -> Result<Box<dyn InnerSolver<L>>, LinalgError> {
+        self.inner.factorize::<L>()
+    }
+    // `factorize_dense_lu` keeps its default body, which goes through
+    // `self.to_dense()` and is therefore counted.
+}
 
 /// The N = 64 test problem: the 8x8 2-D Poisson stencil (kappa ≈ 32, so the
 /// epsilon_l = 1e-2 inner solver still contracts per Theorem III.1).
@@ -111,6 +172,131 @@ fn classical_refiner_is_bit_identical_over_csr() {
         assert_eq!(d.scaled_residual, s.scaled_residual);
     }
     assert_eq!(x_dense.as_slice(), x_csr.as_slice());
+}
+
+/// Deterministic right-hand side for the larger-than-fallback problems.
+fn smooth_rhs(n: usize) -> Vector<f64> {
+    (0..n).map(|i| ((i + 1) as f64 * 0.37).sin()).collect()
+}
+
+/// Run the structured refiner and the dense-LU oracle over the same operator
+/// and assert: the structured path picked the expected inner solver, both
+/// converged with zero `to_dense` calls on the structured side, and the final
+/// solutions agree to 1e-10.
+fn assert_structured_matches_oracle<Op: FactorizableOperator<f64> + Clone>(
+    label: &str,
+    op: &Op,
+    expected_kind: InnerSolverKind,
+) {
+    let n = op.nrows();
+    assert!(
+        n > DENSIFY_FALLBACK_MAX,
+        "{label}: the probe only means something above the fallback threshold"
+    );
+    let b = smooth_rhs(n);
+    let opts = RefinementOptions {
+        target_scaled_residual: 1e-13,
+        max_iterations: 60,
+        ..Default::default()
+    };
+
+    let counted = DensifyCounter::new(op.clone());
+    let refiner = ClassicalRefiner::<f64, f32, DensifyCounter<Op>>::new(&counted, opts)
+        .expect("structured refiner");
+    assert_eq!(
+        refiner.inner_kind(),
+        expected_kind,
+        "{label}: wrong inner solver selected"
+    );
+    let (x_structured, h_structured) = refiner.solve(&b).expect("structured solve");
+    assert_eq!(
+        counted.densify_count(),
+        0,
+        "{label}: the structured refinement path called to_dense"
+    );
+
+    let oracle =
+        ClassicalRefiner::<f64, f32, Op>::with_dense_lu(op, opts).expect("dense-LU oracle");
+    assert_eq!(oracle.inner_kind(), InnerSolverKind::DenseLu);
+    let (x_oracle, h_oracle) = oracle.solve(&b).expect("oracle solve");
+
+    assert_eq!(
+        h_structured.status, h_oracle.status,
+        "{label}: status differs from the oracle"
+    );
+    assert!(
+        h_structured.final_residual() <= 1e-13,
+        "{label}: structured path did not converge ({:e})",
+        h_structured.final_residual()
+    );
+    let rel = (&x_structured - &x_oracle).norm2() / x_oracle.norm2();
+    assert!(
+        rel <= 1e-10,
+        "{label}: structured and oracle solutions differ by {rel:e}"
+    );
+}
+
+#[test]
+fn thomas_refinement_matches_the_dense_lu_oracle() {
+    // 1-D Poisson at N = 256: O(N) Thomas inner solves vs densify-LU.
+    let tridiag = poisson_1d::<f64>(256, false);
+    assert_structured_matches_oracle("tridiag-256", &tridiag, InnerSolverKind::Thomas);
+}
+
+#[test]
+fn stencil_cg_refinement_matches_the_dense_lu_oracle() {
+    // 2-D Poisson at 16x16 (N = 256): matrix-free Jacobi-CG inner solves.
+    let stencil = poisson_2d::<f64>(16, 16, false);
+    assert_structured_matches_oracle(
+        "stencil-16x16",
+        &stencil,
+        InnerSolverKind::ConjugateGradient,
+    );
+}
+
+#[test]
+fn stencil_nd_cg_refinement_matches_the_dense_lu_oracle() {
+    // 3-D Poisson on a 6x5x4 grid (N = 120): the d-dimensional stencil.
+    let stencil = poisson_3d::<f64>(6, 5, 4, false);
+    assert_structured_matches_oracle(
+        "poisson3d-6x5x4",
+        &stencil,
+        InnerSolverKind::ConjugateGradient,
+    );
+}
+
+#[test]
+fn bicgstab_refinement_matches_the_dense_lu_oracle() {
+    // Nonsymmetric convection-diffusion on a 12x10 grid (N = 120): exercises
+    // the BiCGSTAB inner path (and `matvec_transposed` inside it).
+    let cd = convection_diffusion_2d::<f64>(12, 10, 0.4, 0.2);
+    assert_structured_matches_oracle("convdiff-12x10", &cd, InnerSolverKind::BiCgStab);
+}
+
+#[test]
+fn hybrid_refiner_never_densifies_after_construction() {
+    // The hybrid loop densifies exactly once — in `new`, for the quantum-side
+    // block-encoding.  Neither `solve` nor `solve_many` may densify again:
+    // the classical half of Algorithm 2 is residuals + updates only.
+    let stencil = poisson_2d::<f64>(8, 8, false);
+    let counted = DensifyCounter::new(stencil);
+    let refiner = HybridRefiner::new(&counted, options()).expect("hybrid refiner");
+    let after_new = counted.densify_count();
+    assert!(after_new >= 1, "construction builds the block-encoding");
+
+    let b = poisson_2d_rhs::<f64>(8, 8, |x, y| x * y + 0.5);
+    let (_, history) = refiner
+        .solve(&b, &mut experiment_rng(3))
+        .expect("hybrid solve");
+    assert!(history.iterations() >= 1);
+    refiner
+        .solve_many(&[b.clone(), b], &mut experiment_rng(4))
+        .expect("hybrid solve_many");
+    assert_eq!(
+        counted.densify_count(),
+        after_new,
+        "the refinement loop must not densify the operator"
+    );
 }
 
 #[test]
