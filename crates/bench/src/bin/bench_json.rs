@@ -35,7 +35,12 @@
 //!    preset, with a solution-agreement guard), matrix-free Jacobi-CG on 3-D
 //!    Poisson (`StencilNd`), Jacobi-BiCGSTAB on nonsymmetric
 //!    convection-diffusion, and Jacobi-CG on a shifted graph Laplacian at
-//!    N ~ 10^5.
+//!    N ~ 10^5;
+//! 8. the fault-injected recovery workload (`noisy_refinement_recovery`):
+//!    the hybrid refiner under a seeded `FaultPlan` (amplitude noise + one
+//!    scheduled transient) with the full `RecoveryPolicy` ladder armed, vs
+//!    the same solve clean — the measured overhead of self-healing, plus
+//!    the recovery-event count and final status.
 //!
 //! Usage: `bench_json [--preset small|full] [--out PATH]`.  The `small`
 //! preset shrinks every workload so CI can validate the artifact in seconds;
@@ -587,6 +592,77 @@ fn main() {
         );
     }
 
+    // -- Workload 8: fault-injected refinement + recovery ladder -------------
+    // The robustness layer's overhead, measured: the same system solved
+    // clean (no injector, recovery armed but never consulted) and under a
+    // seeded fault plan (amplitude noise + one scheduled transient) that
+    // forces the ladder to act.  Emulation mode keeps the workload about
+    // the recovery machinery, not circuit execution.
+    let mut recovery_json = String::new();
+    {
+        use qls_core::refine::RecoveryPolicy;
+        use qls_sim::{FaultInjector, FaultPlan, TransientKind};
+        let options = HybridRefinementOptions {
+            target_epsilon: preset.refine_target,
+            epsilon_l: preset.qsvt_eps,
+            recovery: RecoveryPolicy::full(),
+            ..Default::default()
+        };
+        let clean_refiner = HybridRefiner::new(&a, options).expect("clean refiner");
+        let clean_secs = time_min(preset.refine_reps, || {
+            let mut rng = experiment_rng(6);
+            std::hint::black_box(clean_refiner.solve(&b, &mut rng).expect("clean solve"));
+        });
+        let plan = FaultPlan::new(41)
+            .with_amplitude_noise(1e-4)
+            .with_transient(1, TransientKind::InjectedError);
+        let make_faulted = || {
+            let mut refiner = HybridRefiner::new(&a, options).expect("faulted refiner");
+            refiner.attach_fault_injector(FaultInjector::shared(plan.clone()));
+            refiner
+        };
+        let (_, history) = {
+            let refiner = make_faulted();
+            let mut rng = experiment_rng(6);
+            refiner.solve(&b, &mut rng).expect("recovered solve")
+        };
+        let recovery_events = history.recovery.len();
+        let status = format!("{:?}", history.status);
+        assert!(
+            history.status.reached_target(),
+            "the ladder must absorb the benchmark fault plan: {status}"
+        );
+        assert!(recovery_events > 0, "the plan must trigger the ladder");
+        let recovered_secs = time_min(preset.refine_reps, || {
+            // A fresh injector per run replays the exact same fault stream.
+            let refiner = make_faulted();
+            let mut rng = experiment_rng(6);
+            std::hint::black_box(refiner.solve(&b, &mut rng).expect("recovered solve"));
+        });
+        let recovery_overhead = recovered_secs / clean_secs;
+        eprintln!(
+            "  noisy_refinement_recovery n={} (sigma 1e-4, transient at run 1): \
+             clean {clean_secs:.6}s, recovered {recovered_secs:.6}s \
+             ({recovery_overhead:.2}x), {recovery_events} recovery events, status {status}",
+            preset.qsvt_n
+        );
+        let _ = write!(
+            recovery_json,
+            r#",
+    {{
+      "name": "noisy_refinement_recovery",
+      "matrix_size": {qsvt_n},
+      "amplitude_sigma": 1e-4,
+      "clean_solve_seconds": {clean_secs:.6},
+      "recovered_solve_seconds": {recovered_secs:.6},
+      "recovery_overhead": {recovery_overhead:.3},
+      "recovery_events": {recovery_events},
+      "final_status": "{status}"
+    }}"#,
+            qsvt_n = preset.qsvt_n,
+        );
+    }
+
     // -- Emit JSON -----------------------------------------------------------
     let unix_seconds = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -655,7 +731,7 @@ fn main() {
       "batched_seconds": {batched_secs:.6},
       "sequential_seconds": {sequential_secs:.6},
       "batched_vs_sequential_speedup": {batch_speedup:.3}
-    }}{sparse_json}{structured_json}
+    }}{sparse_json}{structured_json}{recovery_json}
   ]
 }}
 "#,

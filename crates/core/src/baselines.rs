@@ -10,11 +10,12 @@
 //! * Classical mixed-precision iterative refinement (Algorithm 1) lives in
 //!   [`qls_linalg::refine`] and is re-exported here for convenience.
 
+use crate::error::QlsError;
 use crate::solver::{QsvtLinearSolver, QsvtSolveResult, QsvtSolverOptions};
 use qls_linalg::lu::{lu_solve, LinalgError};
 pub use qls_linalg::{ClassicalRefiner, RefinementOptions};
 use qls_linalg::{Matrix, Vector};
-use qls_qsvt::{QsvtError, QsvtMode};
+use qls_qsvt::QsvtMode;
 use rand::Rng;
 
 /// Solve with the classical LU reference solver.
@@ -30,7 +31,7 @@ pub struct DirectQsvtSolver {
 
 impl DirectQsvtSolver {
     /// Prepare a direct QSVT solve of `A x = b` at accuracy `epsilon`.
-    pub fn new(a: &Matrix<f64>, epsilon: f64, mode: QsvtMode) -> Result<Self, QsvtError> {
+    pub fn new(a: &Matrix<f64>, epsilon: f64, mode: QsvtMode) -> Result<Self, QlsError> {
         let solver = QsvtLinearSolver::new(
             a,
             QsvtSolverOptions {
@@ -54,11 +55,7 @@ impl DirectQsvtSolver {
     }
 
     /// Perform the single high-precision solve.
-    pub fn solve<R: Rng>(
-        &self,
-        b: &Vector<f64>,
-        rng: &mut R,
-    ) -> Result<QsvtSolveResult, QsvtError> {
+    pub fn solve<R: Rng>(&self, b: &Vector<f64>, rng: &mut R) -> Result<QsvtSolveResult, QlsError> {
         self.solver.solve(b, rng)
     }
 

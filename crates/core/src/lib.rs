@@ -10,7 +10,11 @@
 //!   preparation, QSVT of `A†`, readout, Brent norm recovery) with full cost
 //!   accounting.
 //! * [`refine`] — Algorithm 2: the hybrid iterative-refinement loop, its
-//!   convergence history, and the Theorem III.1 bound.
+//!   convergence history, the Theorem III.1 bound, and the fault-recovery
+//!   ladder ([`RecoveryPolicy`]: retry → escalate shots → tighten ε_l →
+//!   classical fallback) with its audit log ([`RecoveryLog`]).
+//! * [`error`] — the unified [`QlsError`] taxonomy (classical, quantum and
+//!   non-finite boundary failures, with `source()` chains to the root cause).
 //! * [`cost`] — the quantum cost model of Table I and the Poisson breakdown of
 //!   Table II.
 //! * [`comms`] — the CPU↔QPU communication timeline of Fig. 1.
@@ -51,6 +55,7 @@
 pub mod baselines;
 pub mod comms;
 pub mod cost;
+pub mod error;
 pub mod hhl;
 pub mod refine;
 pub mod solver;
@@ -63,6 +68,13 @@ pub use cost::{
     poisson_cost_breakdown, qsvt_degree_model, quantum_cost_comparison, CostParameters,
     PoissonCostParameters, PoissonCostRow, QuantumCostComparison, StrategyCost,
 };
+pub use error::QlsError;
 pub use hhl::{HhlOptions, HhlResult, HhlSolver};
-pub use refine::{HybridHistory, HybridRefinementOptions, HybridRefiner, HybridStatus, HybridStep};
-pub use solver::{QsvtLinearSolver, QsvtSolveResult, QsvtSolverOptions, SolveCost};
+pub use refine::{
+    FailureReason, HealthIssue, HybridHistory, HybridRefinementOptions, HybridRefiner,
+    HybridStatus, HybridStep, RecoveryAction, RecoveryEvent, RecoveryLog, RecoveryPolicy,
+    STAGNATION_WINDOW,
+};
+pub use solver::{
+    sample_direction, QsvtLinearSolver, QsvtSolveResult, QsvtSolverOptions, SolveCost,
+};

@@ -14,12 +14,61 @@
 //! contraction factors, quantum cost) so the convergence figures (Figs. 3–4)
 //! and the complexity comparison (Fig. 5) can be regenerated directly from a
 //! run.
+//!
+//! ## Robustness: the recovery ladder
+//!
+//! The refinement loop is the natural place to absorb a noisy or faulty
+//! inner solver — the paper's whole point is that ε_l-accurate solves
+//! suffice, so a *bad* solve is just a solve whose effective ε_l was too
+//! large, and re-running or improving it is always sound.  A
+//! [`RecoveryPolicy`] intercepts the per-iteration health checks (solve
+//! errors such as `PostSelectionFailed` or an injected transient, non-finite
+//! corrections/residuals, a contraction factor ≥ 1) and escalates through a
+//! bounded ladder instead of aborting:
+//!
+//! 1. **retry** the correction solve as-is (transient faults and unlucky
+//!    post-selections are per-run accidents);
+//! 2. **escalate shots** ×[`RecoveryPolicy::shot_escalation_factor`]
+//!    (readout noise shrinks as `1/√shots`) — skipped under exact readout;
+//! 3. **tighten the solver**: a second `QsvtLinearSolver` at
+//!    `ε_l × epsilon_tighten_factor` (higher QSVT degree), built lazily on
+//!    first use and reused afterwards;
+//! 4. **classical fallback**: solve this iteration's correction with the
+//!    operator's own structured [`InnerSolver`]
+//!    ([`FactorizableOperator::factorize`]) — graceful degradation, the
+//!    refinement stays correct but that step ran on the CPU.
+//!
+//! Every action is recorded in a [`RecoveryLog`] inside [`HybridHistory`],
+//! and the terminal status distinguishes *how* the run ended:
+//! [`HybridStatus::Converged`] (clean), `RecoveredConverged` (converged
+//! after ≥ 1 recovery action), `Degraded` (converged but ≥ 1 iteration used
+//! the classical fallback), `Failed { reason }` (the ladder — or the bare
+//! solve, when recovery is disabled — could not produce a usable step).
+//!
+//! With recovery disabled (the default) and no fault injector attached, the
+//! loop is bit-identical to the pre-recovery implementation — the house
+//! equivalence-oracle pattern; `recovery_disabled_clean_path_is_bit_identical`
+//! asserts it.
 
+use crate::error::QlsError;
 use crate::solver::{QsvtLinearSolver, QsvtSolverOptions, SolveCost};
-use qls_linalg::{scaled_residual, LinearOperator, Matrix, Vector};
+use qls_linalg::{scaled_residual, FactorizableOperator, InnerSolver, Matrix, Vector};
 use qls_qsvt::QsvtError;
+use qls_sim::fault::SharedFaultInjector;
 use rand::Rng;
 use serde::Serialize;
+use std::sync::OnceLock;
+
+/// How many **consecutive** non-contracting iterations (ω_{i+1} >
+/// 0.95·ω_i) it takes to declare [`HybridStatus::Stagnated`].  One noisy
+/// iteration under finite-shot readout is expected and must not kill the
+/// run; two in a row mean the contraction has genuinely stopped (ε_l·κ too
+/// close to 1, or limiting accuracy reached).
+pub const STAGNATION_WINDOW: usize = 2;
+
+/// An iteration is "contracting" when ω_{i+1} ≤ `CONTRACTION_TOLERANCE`·ω_i
+/// (the 5% slack absorbs benign rounding wiggle near limiting accuracy).
+const CONTRACTION_TOLERANCE: f64 = 0.95;
 
 /// Options of the hybrid refinement loop.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +82,9 @@ pub struct HybridRefinementOptions {
     /// Options passed to the inner QSVT solver (mode, shots, …); its
     /// `epsilon_l` field is overwritten with the value above.
     pub solver: QsvtSolverOptions,
+    /// Per-iteration health checks + escalation ladder (disabled by
+    /// default: the loop behaves exactly like the pre-recovery refiner).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for HybridRefinementOptions {
@@ -42,20 +94,188 @@ impl Default for HybridRefinementOptions {
             epsilon_l: 1e-2,
             max_iterations: 60,
             solver: QsvtSolverOptions::default(),
+            recovery: RecoveryPolicy::default(),
         }
     }
+}
+
+/// The bounded escalation ladder applied when an iteration fails its health
+/// checks.  The default is **disabled** — no interception, no extra RNG
+/// draws, bit-identical behaviour to the pre-recovery loop; use
+/// [`RecoveryPolicy::full`] for the whole ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RecoveryPolicy {
+    /// Master switch; `false` restores the abort-on-first-error loop.
+    pub enabled: bool,
+    /// Rung 1: how many plain re-runs of the failed correction solve.
+    pub max_retries: usize,
+    /// Rung 2: how many shot escalations (each multiplies the shot budget
+    /// by [`RecoveryPolicy::shot_escalation_factor`]).  Skipped when the
+    /// solver reads exact amplitudes (`shots: None`).
+    pub shot_escalations: usize,
+    /// Shot multiplier per escalation (the ×4 of the ladder: noise halves).
+    pub shot_escalation_factor: usize,
+    /// Rung 3: rebuild the inner solver at a tighter ε_l (higher QSVT
+    /// degree), lazily on first use.
+    pub tighten_solver: bool,
+    /// ε_l multiplier of the tightened solver (< 1).
+    pub epsilon_tighten_factor: f64,
+    /// Rung 4: fall back to the operator's structured classical
+    /// [`InnerSolver`] for this iteration's correction (graceful
+    /// degradation; the run is marked [`HybridStatus::Degraded`]).
+    pub classical_fallback: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            enabled: false,
+            max_retries: 1,
+            shot_escalations: 2,
+            shot_escalation_factor: 4,
+            tighten_solver: true,
+            epsilon_tighten_factor: 0.1,
+            classical_fallback: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The full ladder: 1 retry → 2 shot escalations (×4 each) → tightened
+    /// solver (ε_l/10) → classical fallback.
+    pub fn full() -> Self {
+        RecoveryPolicy {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// What a health check found wrong with one correction attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum HealthIssue {
+    /// The inner solve itself returned an error.
+    SolveFailed(FailureReason),
+    /// The correction contained NaN/Inf (caught at the update boundary).
+    NonFiniteCorrection,
+    /// The residual of the candidate iterate was NaN/Inf.
+    NonFiniteResidual,
+    /// The candidate iterate did not contract the residual
+    /// (ω_new > 0.95·ω_prev).
+    NonContracting,
+}
+
+/// One rung of the recovery ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RecoveryAction {
+    /// Re-run the correction solve unchanged.
+    Retry,
+    /// Re-run with an escalated shot budget.
+    EscalateShots {
+        /// The escalated budget used for this attempt.
+        shots: usize,
+    },
+    /// Re-run through the lazily built tighter-ε_l solver.
+    TightenSolver,
+    /// Solve this iteration's correction classically.
+    ClassicalFallback,
+    /// The ladder is exhausted; the step is abandoned.
+    Abort,
+}
+
+/// One recorded recovery decision: which issue triggered which rung at
+/// which iteration, and whether that rung produced a healthy step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct RecoveryEvent {
+    /// Refinement iteration (0 = initial solve).
+    pub iteration: usize,
+    /// The health issue that triggered this action.
+    pub issue: HealthIssue,
+    /// The ladder rung taken in response.
+    pub action: RecoveryAction,
+    /// Whether the action produced a healthy step.
+    pub recovered: bool,
+}
+
+/// The audit log of every recovery action of a run, stored in
+/// [`HybridHistory::recovery`].  Empty ⇔ the run never needed the ladder.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RecoveryLog {
+    /// Events in the order they were taken.
+    pub events: Vec<RecoveryEvent>,
+}
+
+impl RecoveryLog {
+    /// True when no recovery action was ever taken.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of recovery actions taken.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when any classical-fallback rung ran (⇒ the run is `Degraded`
+    /// if it converged).
+    pub fn used_classical_fallback(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| e.action == RecoveryAction::ClassicalFallback && e.recovered)
+    }
+}
+
+/// Why a hybrid refinement ultimately failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FailureReason {
+    /// Ancilla post-selection failed and could not be recovered.
+    PostSelectionFailed,
+    /// An injected transient device fault (see `qls_sim::fault`).
+    InjectedFault,
+    /// NaN/Inf at the readout boundary (e.g. a NaN-poisoned register).
+    NonFiniteReadout,
+    /// NaN/Inf in the high-precision residual computation.
+    NonFiniteResidual,
+    /// NaN/Inf in the correction update.
+    NonFiniteCorrection,
+    /// Any other inner-solver error (singular matrix, phase finding, …).
+    SolverError,
+    /// The recovery ladder ran out of rungs without a usable step.
+    RecoveryExhausted,
 }
 
 /// Why the hybrid refinement stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum HybridStatus {
-    /// Target scaled residual reached.
+    /// Target scaled residual reached without any recovery action.
     Converged,
     /// Iteration cap reached first.
     MaxIterations,
-    /// The residual stopped contracting (ε_l·κ too close to 1, or limiting
-    /// accuracy reached).
+    /// The residual stopped contracting for [`STAGNATION_WINDOW`]
+    /// consecutive iterations (ε_l·κ too close to 1, or limiting accuracy
+    /// reached).
     Stagnated,
+    /// Target reached, but ≥ 1 recovery action was needed along the way.
+    RecoveredConverged,
+    /// Target reached, but ≥ 1 iteration fell back to the classical inner
+    /// solver (the quantum solver alone did not suffice).
+    Degraded,
+    /// No usable step could be produced (ladder exhausted, or the bare
+    /// solve failed with recovery disabled).
+    Failed {
+        /// The terminal failure.
+        reason: FailureReason,
+    },
+}
+
+impl HybridStatus {
+    /// True for every status that reached the target residual.
+    pub fn reached_target(&self) -> bool {
+        matches!(
+            self,
+            HybridStatus::Converged | HybridStatus::RecoveredConverged | HybridStatus::Degraded
+        )
+    }
 }
 
 /// One step of the refinement history.
@@ -84,6 +304,8 @@ pub struct HybridHistory {
     pub epsilon_l: f64,
     /// Target ε.
     pub target_epsilon: f64,
+    /// Every recovery action taken (empty for a clean run).
+    pub recovery: RecoveryLog,
 }
 
 impl HybridHistory {
@@ -139,6 +361,51 @@ impl HybridHistory {
     }
 }
 
+/// One correction attempt: the raw correction vector + its cost, or the
+/// error the inner solve produced.
+type Attempt = Result<(Vector<f64>, SolveCost), QlsError>;
+
+/// Outcome of one guarded refinement step (initial solve or correction).
+enum StepResult {
+    /// A healthy step: finite, and contracting (or the initial solve).
+    Accepted {
+        x: Vector<f64>,
+        omega: f64,
+        cost: SolveCost,
+    },
+    /// Every rung produced finite but non-contracting candidates; this is
+    /// the best of them.  The caller counts it toward the stagnation window.
+    BestEffort {
+        x: Vector<f64>,
+        omega: f64,
+        cost: SolveCost,
+    },
+    /// No rung produced a finite candidate at all.
+    Dead { reason: FailureReason },
+}
+
+fn failure_reason(e: &QlsError) -> FailureReason {
+    match e {
+        QlsError::Qsvt(QsvtError::PostSelectionFailed) => FailureReason::PostSelectionFailed,
+        QlsError::Qsvt(QsvtError::InjectedFault { .. }) => FailureReason::InjectedFault,
+        QlsError::Qsvt(QsvtError::NonFiniteOutput) | QlsError::NonFinite { .. } => {
+            FailureReason::NonFiniteReadout
+        }
+        QlsError::Qsvt(_) | QlsError::Linalg(_) => FailureReason::SolverError,
+    }
+}
+
+fn issue_reason(issue: HealthIssue) -> FailureReason {
+    match issue {
+        HealthIssue::SolveFailed(reason) => reason,
+        HealthIssue::NonFiniteCorrection => FailureReason::NonFiniteCorrection,
+        HealthIssue::NonFiniteResidual => FailureReason::NonFiniteResidual,
+        // A non-contracting attempt always leaves a best-effort candidate,
+        // so it can never be the terminal reason of a Dead step.
+        HealthIssue::NonContracting => FailureReason::SolverError,
+    }
+}
+
 /// The hybrid CPU/QPU mixed-precision refiner (Algorithm 2).
 ///
 /// Construction compiles; solving never does.  The matrix is fixed, so the
@@ -147,33 +414,48 @@ impl HybridHistory {
 /// iteration of every [`HybridRefiner::solve`] / [`HybridRefiner::solve_many`]
 /// call reuses them (verified against
 /// `qls_sim::circuit_compile_count` in the tests).  This is the paper's
-/// access pattern: one matrix, many solves.
+/// access pattern: one matrix, many solves.  (The two exceptions are
+/// recovery rungs: the tightened solver compiles lazily on its first use,
+/// and never on a clean run.)
 ///
 /// The refiner is generic over the classical operator representation of `A`
-/// ([`LinearOperator`], dense [`Matrix`] by default so every existing caller
-/// compiles unchanged).  The CPU half of the loop — the high-precision
-/// residual `r = b − A x` recomputed every iteration — goes through the
-/// operator, so a CSR / tridiagonal / stencil operator makes the hot
-/// classical path O(nnz) instead of O(N²); only the one-time quantum-side
-/// construction in `new` densifies (the inner correction solves are the QSVT
-/// circuit, not a classical factorization, so after construction no step of
-/// `solve` / `solve_many` ever materialises a dense matrix — asserted by the
+/// ([`FactorizableOperator`], dense [`Matrix`] by default so every existing
+/// caller compiles unchanged).  The CPU half of the loop — the
+/// high-precision residual `r = b − A x` recomputed every iteration — goes
+/// through the operator, so a CSR / tridiagonal / stencil operator makes the
+/// hot classical path O(nnz) instead of O(N²); only the one-time
+/// quantum-side construction in `new` densifies (the inner correction solves
+/// are the QSVT circuit, not a classical factorization, so after
+/// construction no step of `solve` / `solve_many` ever materialises a dense
+/// matrix — asserted by the
 /// `hybrid_refiner_never_densifies_after_construction` operator-equivalence
-/// test).  Because the CSR and stencil matvecs are bit-identical to the dense
-/// kernel, refining over a structured operator reproduces the dense
-/// convergence history float for float (see the operator-equivalence tests).
-pub struct HybridRefiner<Op: LinearOperator<f64> = Matrix<f64>> {
+/// test; the classical-fallback recovery rung factorizes through the
+/// operator's own structured [`InnerSolver`], lazily, and only when that
+/// rung actually fires).  Because the CSR and stencil matvecs are
+/// bit-identical to the dense kernel, refining over a structured operator
+/// reproduces the dense convergence history float for float (see the
+/// operator-equivalence tests).
+pub struct HybridRefiner<Op: FactorizableOperator<f64> = Matrix<f64>> {
     operator: Op,
     solver: QsvtLinearSolver<Op>,
     options: HybridRefinementOptions,
+    /// Fault injector shared with the inner solver (and any tightened
+    /// solver built later).
+    fault: Option<SharedFaultInjector>,
+    /// Recovery rung 3: the tighter-ε_l solver, built lazily on first use
+    /// (`None` inside = construction failed; never retried).
+    tightened: OnceLock<Option<QsvtLinearSolver<Op>>>,
+    /// Recovery rung 4: the operator's structured classical solver, built
+    /// lazily on first use.
+    fallback: OnceLock<Option<Box<dyn InnerSolver<f64>>>>,
 }
 
-impl<Op: LinearOperator<f64>> HybridRefiner<Op> {
+impl<Op: FactorizableOperator<f64>> HybridRefiner<Op> {
     /// Prepare the refiner: builds the QSVT solver once (block-encoding,
     /// polynomial and compiled circuit are reused across all iterations and
     /// all right-hand sides, as in the paper's communication scheme of
     /// Fig. 1).
-    pub fn new(a: &Op, options: HybridRefinementOptions) -> Result<Self, QsvtError> {
+    pub fn new(a: &Op, options: HybridRefinementOptions) -> Result<Self, QlsError> {
         let mut solver_options = options.solver;
         solver_options.epsilon_l = options.epsilon_l;
         let solver = QsvtLinearSolver::new(a, solver_options)?;
@@ -181,6 +463,9 @@ impl<Op: LinearOperator<f64>> HybridRefiner<Op> {
             operator: a.clone(),
             solver,
             options,
+            fault: None,
+            tightened: OnceLock::new(),
+            fallback: OnceLock::new(),
         })
     }
 
@@ -199,69 +484,389 @@ impl<Op: LinearOperator<f64>> HybridRefiner<Op> {
         &self.options
     }
 
+    /// Attach a fault injector to the quantum side (and to any tightened
+    /// solver the recovery ladder builds later) — see `qls_sim::fault`.
+    pub fn attach_fault_injector(&mut self, injector: SharedFaultInjector) {
+        self.solver.attach_fault_injector(injector.clone());
+        self.fault = Some(injector);
+        // A tightened solver built before the attach would be fault-free;
+        // rebuild it on next use with the injector wired in.
+        self.tightened = OnceLock::new();
+    }
+
+    /// Detach and return the fault injector, restoring ideal execution.
+    pub fn detach_fault_injector(&mut self) -> Option<SharedFaultInjector> {
+        self.solver.detach_fault_injector();
+        self.tightened = OnceLock::new();
+        self.fault.take()
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&SharedFaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// The ladder of recovery actions tried **after** a failed primary
+    /// attempt, in order.  Empty when the policy is disabled.
+    fn recovery_ladder(&self) -> Vec<RecoveryAction> {
+        let policy = &self.options.recovery;
+        let mut actions = Vec::new();
+        if !policy.enabled {
+            return actions;
+        }
+        for _ in 0..policy.max_retries {
+            actions.push(RecoveryAction::Retry);
+        }
+        if let Some(base) = self.options.solver.shots {
+            let mut shots = base;
+            for _ in 0..policy.shot_escalations {
+                shots = shots.saturating_mul(policy.shot_escalation_factor.max(2));
+                actions.push(RecoveryAction::EscalateShots { shots });
+            }
+        }
+        if policy.tighten_solver {
+            actions.push(RecoveryAction::TightenSolver);
+        }
+        if policy.classical_fallback {
+            actions.push(RecoveryAction::ClassicalFallback);
+        }
+        actions
+    }
+
+    /// Rung 3's solver: ε_l × `epsilon_tighten_factor`, same mode/shots,
+    /// fault injector re-attached.  Built once, on first use.
+    fn tightened_solver(&self) -> Option<&QsvtLinearSolver<Op>> {
+        self.tightened
+            .get_or_init(|| {
+                let mut opts = self.options.solver;
+                opts.epsilon_l = (self.options.epsilon_l
+                    * self.options.recovery.epsilon_tighten_factor)
+                    .clamp(1e-14, 0.49);
+                let mut solver = QsvtLinearSolver::new(&self.operator, opts).ok()?;
+                if let Some(inj) = &self.fault {
+                    solver.attach_fault_injector(inj.clone());
+                }
+                Some(solver)
+            })
+            .as_ref()
+    }
+
+    /// Rung 4's classical correction solve through the operator's own
+    /// structured [`InnerSolver`] (built once, on first use).  The cost
+    /// record is purely classical: no degree, no block-encoding calls, no
+    /// shots.
+    fn classical_correction(&self, r: &Vector<f64>) -> Attempt {
+        let solver = self
+            .fallback
+            .get_or_init(|| self.operator.factorize::<f64>().ok());
+        match solver {
+            Some(inner) => {
+                let correction = inner.solve(r)?;
+                Ok((
+                    correction,
+                    SolveCost {
+                        polynomial_degree: 0,
+                        block_encoding_calls: 0,
+                        shots: 0,
+                        state_prep_flops: 0,
+                        brent_evaluations: 0,
+                        classical_matvec_flops: 2 * self.operator.nnz(),
+                    },
+                ))
+            }
+            None => Err(QlsError::Qsvt(QsvtError::Internal(
+                "classical fallback factorization failed",
+            ))),
+        }
+    }
+
+    /// Execute one rung (`None` = the primary attempt) for the correction
+    /// system `A e = r`.
+    fn run_action<R: Rng>(
+        &self,
+        action: Option<RecoveryAction>,
+        r: &Vector<f64>,
+        rng: &mut R,
+    ) -> Attempt {
+        match action {
+            None | Some(RecoveryAction::Retry) => self
+                .solver
+                .solve(r, rng)
+                .map(|res| (res.solution, res.cost)),
+            Some(RecoveryAction::EscalateShots { shots }) => self
+                .solver
+                .solve_with_shots(r, Some(shots), rng)
+                .map(|res| (res.solution, res.cost)),
+            Some(RecoveryAction::TightenSolver) => match self.tightened_solver() {
+                Some(solver) => solver.solve(r, rng).map(|res| (res.solution, res.cost)),
+                None => Err(QlsError::Qsvt(QsvtError::Internal(
+                    "tightened solver construction failed",
+                ))),
+            },
+            Some(RecoveryAction::ClassicalFallback) => self.classical_correction(r),
+            Some(RecoveryAction::Abort) => Err(QlsError::Qsvt(QsvtError::Internal(
+                "abort is not an executable recovery action",
+            ))),
+        }
+    }
+
+    /// One guarded refinement step: run the primary correction solve (or
+    /// consume the pre-computed batched one), health-check the candidate
+    /// iterate, and walk the recovery ladder until a rung produces a
+    /// healthy step or the ladder is exhausted.
+    ///
+    /// `x = None` marks the initial solve (the "correction" *is* the
+    /// iterate, and the contraction check does not apply — `prev_omega` is
+    /// `None`).  On the clean path (healthy primary, which is the only
+    /// possibility with recovery disabled and no faults) this performs
+    /// exactly the operations of the pre-recovery loop.
+    #[allow(clippy::too_many_arguments)]
+    fn guarded_step<R: Rng>(
+        &self,
+        b: &Vector<f64>,
+        x: Option<&Vector<f64>>,
+        r: &Vector<f64>,
+        prev_omega: Option<f64>,
+        primary: Option<Attempt>,
+        iteration: usize,
+        rng: &mut R,
+        log: &mut RecoveryLog,
+    ) -> StepResult {
+        let mut primary = primary;
+        let mut best: Option<(Vector<f64>, f64, SolveCost)> = None;
+        let mut pending: Option<HealthIssue> = None;
+
+        let actions = std::iter::once(None).chain(self.recovery_ladder().into_iter().map(Some));
+        for action in actions {
+            let attempt = match primary.take() {
+                Some(precomputed) if action.is_none() => precomputed,
+                _ => self.run_action(action, r, rng),
+            };
+            let health: Result<(Vector<f64>, f64, SolveCost), HealthIssue> = match attempt {
+                Err(e) => Err(HealthIssue::SolveFailed(failure_reason(&e))),
+                Ok((correction, cost)) => {
+                    if !correction.iter().all(|v| v.is_finite()) {
+                        Err(HealthIssue::NonFiniteCorrection)
+                    } else {
+                        let candidate = match x {
+                            Some(x0) => {
+                                let mut c = x0.clone();
+                                c += &correction;
+                                c
+                            }
+                            None => correction,
+                        };
+                        let omega = scaled_residual(&self.operator, &candidate, b);
+                        if !omega.is_finite() {
+                            Err(HealthIssue::NonFiniteResidual)
+                        } else {
+                            let healthy = match prev_omega {
+                                None => true,
+                                Some(prev) => {
+                                    omega <= self.options.target_epsilon
+                                        || omega <= prev * CONTRACTION_TOLERANCE
+                                }
+                            };
+                            if healthy {
+                                Ok((candidate, omega, cost))
+                            } else {
+                                if best.as_ref().is_none_or(|(_, b_omega, _)| omega < *b_omega) {
+                                    best = Some((candidate, omega, cost));
+                                }
+                                Err(HealthIssue::NonContracting)
+                            }
+                        }
+                    }
+                }
+            };
+            match health {
+                Ok((x_new, omega, cost)) => {
+                    if let (Some(issue), Some(act)) = (pending, action) {
+                        log.events.push(RecoveryEvent {
+                            iteration,
+                            issue,
+                            action: act,
+                            recovered: true,
+                        });
+                    }
+                    return StepResult::Accepted {
+                        x: x_new,
+                        omega,
+                        cost,
+                    };
+                }
+                Err(issue) => {
+                    if let (Some(trigger), Some(act)) = (pending, action) {
+                        log.events.push(RecoveryEvent {
+                            iteration,
+                            issue: trigger,
+                            action: act,
+                            recovered: false,
+                        });
+                    }
+                    pending = Some(issue);
+                }
+            }
+        }
+
+        // Ladder exhausted (or recovery disabled and the one attempt was
+        // unhealthy).
+        if self.options.recovery.enabled {
+            if let Some(issue) = pending {
+                log.events.push(RecoveryEvent {
+                    iteration,
+                    issue,
+                    action: RecoveryAction::Abort,
+                    recovered: false,
+                });
+            }
+        }
+        match best {
+            Some((x_new, omega, cost)) => StepResult::BestEffort {
+                x: x_new,
+                omega,
+                cost,
+            },
+            None => StepResult::Dead {
+                reason: if self.options.recovery.enabled {
+                    FailureReason::RecoveryExhausted
+                } else {
+                    pending
+                        .map(issue_reason)
+                        .unwrap_or(FailureReason::SolverError)
+                },
+            },
+        }
+    }
+
+    /// The terminal status of a run that reached the target residual.
+    fn success_status(log: &RecoveryLog) -> HybridStatus {
+        if log.used_classical_fallback() {
+            HybridStatus::Degraded
+        } else if log.is_empty() {
+            HybridStatus::Converged
+        } else {
+            HybridStatus::RecoveredConverged
+        }
+    }
+
     /// Run Algorithm 2 for the right-hand side `b`.
+    ///
+    /// `Err` is reserved for malformed inputs (a non-finite `b`); every
+    /// runtime failure of the loop itself — solver errors, injected faults,
+    /// an exhausted recovery ladder — is reported **in-band** as
+    /// [`HybridStatus::Failed`] with the partial history preserved, so
+    /// multi-system callers and services can inspect what happened.
     pub fn solve<R: Rng>(
         &self,
         b: &Vector<f64>,
         rng: &mut R,
-    ) -> Result<(Vector<f64>, HybridHistory), QsvtError> {
+    ) -> Result<(Vector<f64>, HybridHistory), QlsError> {
+        if !b.iter().all(|v| v.is_finite()) {
+            return Err(QlsError::NonFinite {
+                boundary: "right-hand side",
+            });
+        }
         let kappa = self.solver.kappa();
         let epsilon_l = self.options.epsilon_l;
         let contraction = (epsilon_l * kappa).min(1.0);
+        let mut log = RecoveryLog::default();
+        let mut steps = Vec::new();
 
-        // Initial solve on the QPU.
-        let first = self.solver.solve(b, rng)?;
-        let mut x = first.solution.clone();
-        let mut steps = vec![HybridStep {
-            iteration: 0,
-            scaled_residual: first.scaled_residual,
-            theoretical_bound: contraction,
-            cost: first.cost,
-        }];
+        let history = |steps: Vec<HybridStep>, status, log| HybridHistory {
+            steps,
+            status,
+            kappa,
+            epsilon_l,
+            target_epsilon: self.options.target_epsilon,
+            recovery: log,
+        };
+
+        // Initial solve on the QPU (iteration 0), through the guard.
+        let (mut x, mut prev_omega) = match self
+            .guarded_step(b, None, b, None, None, 0, rng, &mut log)
+        {
+            StepResult::Accepted { x, omega, cost } | StepResult::BestEffort { x, omega, cost } => {
+                steps.push(HybridStep {
+                    iteration: 0,
+                    scaled_residual: omega,
+                    theoretical_bound: contraction,
+                    cost,
+                });
+                (x, omega)
+            }
+            StepResult::Dead { reason } => {
+                return Ok((
+                    Vector::zeros(b.len()),
+                    history(steps, HybridStatus::Failed { reason }, log),
+                ));
+            }
+        };
 
         let mut status = HybridStatus::MaxIterations;
-        if first.scaled_residual <= self.options.target_epsilon {
-            status = HybridStatus::Converged;
+        if prev_omega <= self.options.target_epsilon {
+            status = Self::success_status(&log);
         } else {
-            let mut prev_omega = first.scaled_residual;
+            let mut streak = 0usize;
             for it in 1..=self.options.max_iterations {
-                // CPU: residual in high precision.
+                // CPU: residual in high precision (boundary-guarded).
                 let r = b - &self.operator.matvec(&x);
-                // QPU: correction solve at accuracy ε_l.
-                let correction = self.solver.solve(&r, rng)?;
-                // CPU: update in high precision.
-                x += &correction.solution;
-
-                let omega = scaled_residual(&self.operator, &x, b);
-                steps.push(HybridStep {
-                    iteration: it,
-                    scaled_residual: omega,
-                    theoretical_bound: contraction.powi(it as i32 + 1),
-                    cost: correction.cost,
-                });
-
-                if omega <= self.options.target_epsilon {
-                    status = HybridStatus::Converged;
+                if !r.iter().all(|v| v.is_finite()) {
+                    status = HybridStatus::Failed {
+                        reason: FailureReason::NonFiniteResidual,
+                    };
                     break;
                 }
-                if omega > prev_omega * 0.95 {
-                    status = HybridStatus::Stagnated;
-                    break;
+                // QPU: correction solve at accuracy ε_l, through the guard.
+                match self.guarded_step(b, Some(&x), &r, Some(prev_omega), None, it, rng, &mut log)
+                {
+                    StepResult::Accepted {
+                        x: x_new,
+                        omega,
+                        cost,
+                    } => {
+                        x = x_new;
+                        steps.push(HybridStep {
+                            iteration: it,
+                            scaled_residual: omega,
+                            theoretical_bound: contraction.powi(it as i32 + 1),
+                            cost,
+                        });
+                        if omega <= self.options.target_epsilon {
+                            status = Self::success_status(&log);
+                            break;
+                        }
+                        streak = 0;
+                        prev_omega = omega;
+                    }
+                    StepResult::BestEffort {
+                        x: x_new,
+                        omega,
+                        cost,
+                    } => {
+                        x = x_new;
+                        steps.push(HybridStep {
+                            iteration: it,
+                            scaled_residual: omega,
+                            theoretical_bound: contraction.powi(it as i32 + 1),
+                            cost,
+                        });
+                        streak += 1;
+                        if streak >= STAGNATION_WINDOW {
+                            status = HybridStatus::Stagnated;
+                            break;
+                        }
+                        prev_omega = omega;
+                    }
+                    StepResult::Dead { reason } => {
+                        status = HybridStatus::Failed { reason };
+                        break;
+                    }
                 }
-                prev_omega = omega;
             }
         }
 
-        Ok((
-            x,
-            HybridHistory {
-                steps,
-                status,
-                kappa,
-                epsilon_l,
-                target_epsilon: self.options.target_epsilon,
-            },
-        ))
+        Ok((x, history(steps, status, log)))
     }
 
     /// Run Algorithm 2 for **many** right-hand sides against the same matrix
@@ -269,8 +874,12 @@ impl<Op: LinearOperator<f64>> HybridRefiner<Op> {
     /// forcing terms).  All systems share the one compiled QSVT circuit, and
     /// each round of the refinement loop batches the correction solves of
     /// every still-active system through
-    /// [`QsvtLinearSolver::solve_many`] (coarse-grained thread fan-out
-    /// across the batch in circuit mode).
+    /// [`QsvtLinearSolver::solve_many_checked`] (coarse-grained thread
+    /// fan-out across the batch in circuit mode).
+    ///
+    /// Failures are **per-system**: one failed post-selection or injected
+    /// fault only sends that system through the recovery ladder (or marks
+    /// it [`HybridStatus::Failed`]) — its siblings keep refining.
     ///
     /// With exact readout (`shots: None`) the returned solutions and
     /// histories are identical to calling [`HybridRefiner::solve`] per
@@ -280,7 +889,14 @@ impl<Op: LinearOperator<f64>> HybridRefiner<Op> {
         &self,
         bs: &[Vector<f64>],
         rng: &mut R,
-    ) -> Result<Vec<(Vector<f64>, HybridHistory)>, QsvtError> {
+    ) -> Result<Vec<(Vector<f64>, HybridHistory)>, QlsError> {
+        for b in bs {
+            if !b.iter().all(|v| v.is_finite()) {
+                return Err(QlsError::NonFinite {
+                    boundary: "right-hand side",
+                });
+            }
+        }
         let kappa = self.solver.kappa();
         let epsilon_l = self.options.epsilon_l;
         let contraction = (epsilon_l * kappa).min(1.0);
@@ -290,28 +906,47 @@ impl<Op: LinearOperator<f64>> HybridRefiner<Op> {
             steps: Vec<HybridStep>,
             status: Option<HybridStatus>,
             prev_omega: f64,
+            streak: usize,
+            log: RecoveryLog,
         }
 
-        // Initial solves for every right-hand side, batched.
-        let firsts = self.solver.solve_many(bs, rng)?;
-        let mut systems: Vec<System> = firsts
-            .into_iter()
-            .map(|first| {
-                let status = (first.scaled_residual <= self.options.target_epsilon)
-                    .then_some(HybridStatus::Converged);
-                System {
-                    x: first.solution.clone(),
-                    prev_omega: first.scaled_residual,
-                    steps: vec![HybridStep {
+        // Initial solves for every right-hand side, batched; each outcome
+        // then runs through the same per-system guard as the single path.
+        let firsts = self.solver.solve_many_checked(bs, rng);
+        let mut systems: Vec<System> = Vec::with_capacity(bs.len());
+        for (b, first) in bs.iter().zip(firsts) {
+            let mut log = RecoveryLog::default();
+            let primary = first.map(|res| (res.solution, res.cost));
+            let mut sys = System {
+                x: Vector::zeros(b.len()),
+                steps: Vec::new(),
+                status: None,
+                prev_omega: f64::INFINITY,
+                streak: 0,
+                log: RecoveryLog::default(),
+            };
+            match self.guarded_step(b, None, b, None, Some(primary), 0, rng, &mut log) {
+                StepResult::Accepted { x, omega, cost }
+                | StepResult::BestEffort { x, omega, cost } => {
+                    sys.x = x;
+                    sys.prev_omega = omega;
+                    sys.steps.push(HybridStep {
                         iteration: 0,
-                        scaled_residual: first.scaled_residual,
+                        scaled_residual: omega,
                         theoretical_bound: contraction,
-                        cost: first.cost,
-                    }],
-                    status,
+                        cost,
+                    });
+                    if omega <= self.options.target_epsilon {
+                        sys.status = Some(Self::success_status(&log));
+                    }
                 }
-            })
-            .collect();
+                StepResult::Dead { reason } => {
+                    sys.status = Some(HybridStatus::Failed { reason });
+                }
+            }
+            sys.log = log;
+            systems.push(sys);
+        }
 
         for it in 1..=self.options.max_iterations {
             let active: Vec<usize> = (0..systems.len())
@@ -320,30 +955,73 @@ impl<Op: LinearOperator<f64>> HybridRefiner<Op> {
             if active.is_empty() {
                 break;
             }
-            // CPU: residuals of all active systems in high precision.
-            let residuals: Vec<Vector<f64>> = active
-                .iter()
-                .map(|&k| &bs[k] - &self.operator.matvec(&systems[k].x))
-                .collect();
-            // QPU: one batched round of correction solves at accuracy ε_l.
-            let corrections = self.solver.solve_many(&residuals, rng)?;
-            for (&k, correction) in active.iter().zip(corrections) {
-                let sys = &mut systems[k];
-                // CPU: update in high precision.
-                sys.x += &correction.solution;
-                let omega = scaled_residual(&self.operator, &sys.x, &bs[k]);
-                sys.steps.push(HybridStep {
-                    iteration: it,
-                    scaled_residual: omega,
-                    theoretical_bound: contraction.powi(it as i32 + 1),
-                    cost: correction.cost,
-                });
-                if omega <= self.options.target_epsilon {
-                    sys.status = Some(HybridStatus::Converged);
-                } else if omega > sys.prev_omega * 0.95 {
-                    sys.status = Some(HybridStatus::Stagnated);
+            // CPU: residuals of all active systems in high precision
+            // (boundary-guarded per system).
+            let mut batch: Vec<usize> = Vec::with_capacity(active.len());
+            let mut residuals: Vec<Vector<f64>> = Vec::with_capacity(active.len());
+            for &k in &active {
+                let r = &bs[k] - &self.operator.matvec(&systems[k].x);
+                if r.iter().all(|v| v.is_finite()) {
+                    batch.push(k);
+                    residuals.push(r);
+                } else {
+                    systems[k].status = Some(HybridStatus::Failed {
+                        reason: FailureReason::NonFiniteResidual,
+                    });
                 }
-                sys.prev_omega = omega;
+            }
+            if batch.is_empty() {
+                break;
+            }
+            // QPU: one batched round of correction solves at accuracy ε_l,
+            // with per-system verdicts feeding the per-system guard.
+            let corrections = self.solver.solve_many_checked(&residuals, rng);
+            for ((&k, r), correction) in batch.iter().zip(&residuals).zip(corrections) {
+                let sys = &mut systems[k];
+                let primary = correction.map(|res| (res.solution, res.cost));
+                match self.guarded_step(
+                    &bs[k],
+                    Some(&sys.x),
+                    r,
+                    Some(sys.prev_omega),
+                    Some(primary),
+                    it,
+                    rng,
+                    &mut sys.log,
+                ) {
+                    StepResult::Accepted { x, omega, cost } => {
+                        sys.x = x;
+                        sys.steps.push(HybridStep {
+                            iteration: it,
+                            scaled_residual: omega,
+                            theoretical_bound: contraction.powi(it as i32 + 1),
+                            cost,
+                        });
+                        if omega <= self.options.target_epsilon {
+                            sys.status = Some(Self::success_status(&sys.log));
+                        } else {
+                            sys.streak = 0;
+                        }
+                        sys.prev_omega = omega;
+                    }
+                    StepResult::BestEffort { x, omega, cost } => {
+                        sys.x = x;
+                        sys.steps.push(HybridStep {
+                            iteration: it,
+                            scaled_residual: omega,
+                            theoretical_bound: contraction.powi(it as i32 + 1),
+                            cost,
+                        });
+                        sys.streak += 1;
+                        if sys.streak >= STAGNATION_WINDOW {
+                            sys.status = Some(HybridStatus::Stagnated);
+                        }
+                        sys.prev_omega = omega;
+                    }
+                    StepResult::Dead { reason } => {
+                        sys.status = Some(HybridStatus::Failed { reason });
+                    }
+                }
             }
         }
 
@@ -356,6 +1034,7 @@ impl<Op: LinearOperator<f64>> HybridRefiner<Op> {
                     kappa,
                     epsilon_l,
                     target_epsilon: self.options.target_epsilon,
+                    recovery: sys.log,
                 };
                 (sys.x, history)
             })
@@ -410,6 +1089,8 @@ mod tests {
         // Solution matches LU to the target accuracy scale.
         let reference = lu_solve(&a, &b).unwrap();
         assert!((&x - &reference).norm2() / reference.norm2() < 1e-9);
+        // A clean run never touches the recovery machinery.
+        assert!(history.recovery.is_empty());
     }
 
     #[test]
@@ -693,5 +1374,158 @@ mod tests {
         let refiner = HybridRefiner::new(&a, options).unwrap();
         let (_, history) = refiner.solve(&b, &mut rng).unwrap();
         assert_eq!(history.status, HybridStatus::Converged);
+    }
+
+    #[test]
+    fn recovery_enabled_clean_path_is_bit_identical_to_disabled() {
+        // The equivalence oracle of the recovery layer: on a fault-free,
+        // exact-readout run the enabled ladder is never consulted, so the
+        // solution and the whole history must match the disabled path float
+        // for float, with an empty log and a plain Converged status.
+        let (a, b) = system(10.0, 16, 162);
+        let make = |recovery: RecoveryPolicy| HybridRefinementOptions {
+            target_epsilon: 1e-10,
+            epsilon_l: 1e-2,
+            recovery,
+            ..Default::default()
+        };
+        let mut rng_off = ChaCha8Rng::seed_from_u64(21);
+        let mut rng_on = ChaCha8Rng::seed_from_u64(21);
+        let (x_off, h_off) = HybridRefiner::new(&a, make(RecoveryPolicy::default()))
+            .unwrap()
+            .solve(&b, &mut rng_off)
+            .unwrap();
+        let (x_on, h_on) = HybridRefiner::new(&a, make(RecoveryPolicy::full()))
+            .unwrap()
+            .solve(&b, &mut rng_on)
+            .unwrap();
+        assert_eq!(
+            (&x_off - &x_on).norm2(),
+            0.0,
+            "solutions must be bit-identical"
+        );
+        assert_eq!(h_off.status, HybridStatus::Converged);
+        assert_eq!(h_on.status, HybridStatus::Converged);
+        assert_eq!(h_off.steps.len(), h_on.steps.len());
+        for (s_off, s_on) in h_off.steps.iter().zip(&h_on.steps) {
+            assert_eq!(s_off.scaled_residual, s_on.scaled_residual);
+        }
+        assert!(h_off.recovery.is_empty());
+        assert!(h_on.recovery.is_empty());
+    }
+
+    #[test]
+    fn stagnation_needs_two_consecutive_non_contracting_iterations() {
+        // Finite-shot sampling at a modest budget: single noisy iterations
+        // must not kill the run (the pre-fix one-strike rule did exactly
+        // that).  With the two-strike window the run either converges or
+        // stagnates only after two non-contracting iterations in a row.
+        let (a, b) = system(10.0, 16, 163);
+        let options = HybridRefinementOptions {
+            target_epsilon: 1e-6,
+            epsilon_l: 1e-2,
+            solver: crate::solver::QsvtSolverOptions {
+                shots: Some(4_000_000),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let refiner = HybridRefiner::new(&a, options).unwrap();
+        let mut converged = 0usize;
+        for seed in 0..8 {
+            let mut rng = ChaCha8Rng::seed_from_u64(30 + seed);
+            let (_, history) = refiner.solve(&b, &mut rng).unwrap();
+            match history.status {
+                HybridStatus::Converged => converged += 1,
+                HybridStatus::Stagnated => {
+                    // Stagnation must only be declared after two consecutive
+                    // non-contracting steps: the last two contraction
+                    // factors both exceed the tolerance.
+                    let factors = history.contraction_factors();
+                    assert!(factors.len() >= 2, "stagnated after one step");
+                    let tail = &factors[factors.len() - 2..];
+                    assert!(
+                        tail.iter().all(|&f| f > 0.95),
+                        "stagnated although the last window contracted: {factors:?}"
+                    );
+                }
+                other => panic!("seed {seed}: unexpected status {other:?}"),
+            }
+        }
+        // The budget is generous enough that most seeds converge — the
+        // one-strike rule killed roughly every seed at this shot count.
+        assert!(converged >= 6, "only {converged}/8 seeds converged");
+    }
+
+    #[test]
+    fn ladder_order_matches_the_documented_escalation() {
+        let (a, _) = system(10.0, 16, 164);
+        let options = HybridRefinementOptions {
+            target_epsilon: 1e-8,
+            epsilon_l: 1e-2,
+            solver: crate::solver::QsvtSolverOptions {
+                shots: Some(1_000),
+                ..Default::default()
+            },
+            recovery: RecoveryPolicy::full(),
+            ..Default::default()
+        };
+        let refiner = HybridRefiner::new(&a, options).unwrap();
+        assert_eq!(
+            refiner.recovery_ladder(),
+            vec![
+                RecoveryAction::Retry,
+                RecoveryAction::EscalateShots { shots: 4_000 },
+                RecoveryAction::EscalateShots { shots: 16_000 },
+                RecoveryAction::TightenSolver,
+                RecoveryAction::ClassicalFallback,
+            ]
+        );
+        // Exact readout: the shot rung disappears, the rest stays.
+        let exact = HybridRefiner::new(
+            &a,
+            HybridRefinementOptions {
+                target_epsilon: 1e-8,
+                epsilon_l: 1e-2,
+                recovery: RecoveryPolicy::full(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            exact.recovery_ladder(),
+            vec![
+                RecoveryAction::Retry,
+                RecoveryAction::TightenSolver,
+                RecoveryAction::ClassicalFallback,
+            ]
+        );
+        // Disabled policy: no ladder at all.
+        let disabled = HybridRefiner::new(
+            &a,
+            HybridRefinementOptions {
+                target_epsilon: 1e-8,
+                epsilon_l: 1e-2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(disabled.recovery_ladder().is_empty());
+    }
+
+    #[test]
+    fn non_finite_right_hand_side_is_rejected_at_the_boundary() {
+        let (a, mut b) = system(10.0, 16, 165);
+        b[3] = f64::NAN;
+        let refiner = HybridRefiner::new(&a, HybridRefinementOptions::default()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        match refiner.solve(&b, &mut rng) {
+            Err(QlsError::NonFinite { boundary }) => assert_eq!(boundary, "right-hand side"),
+            other => panic!("expected a boundary rejection, got {other:?}"),
+        }
+        match refiner.solve_many(&[b.clone()], &mut rng) {
+            Err(QlsError::NonFinite { .. }) => {}
+            other => panic!("expected a boundary rejection, got {other:?}"),
+        }
     }
 }

@@ -15,9 +15,11 @@
 //! The per-solve resource record (block-encoding calls, shots, classical
 //! flops) feeds the cost model of [`crate::cost`].
 
+use crate::error::QlsError;
 use qls_encoding::StatePreparation;
 use qls_linalg::{brent_minimize, scaled_residual, LinearOperator, Matrix, Vector};
-use qls_qsvt::{QsvtError, QsvtInverter, QsvtMode, QsvtResources};
+use qls_qsvt::{QsvtInverter, QsvtMode, QsvtResources};
+use qls_sim::fault::{lock_injector, SharedFaultInjector};
 use qls_sim::{shots_for_accuracy, OptLevel};
 use rand::Rng;
 use serde::Serialize;
@@ -126,7 +128,7 @@ impl<Op: LinearOperator<f64>> QsvtLinearSolver<Op> {
     /// the phase factors and the optimized, compiled-once QSVT circuit).
     /// The densification needed by the quantum-side construction happens here,
     /// once — never on the solve path.
-    pub fn new(a: &Op, options: QsvtSolverOptions) -> Result<Self, QsvtError> {
+    pub fn new(a: &Op, options: QsvtSolverOptions) -> Result<Self, QlsError> {
         // The densified temporary is dropped before the operator is cloned,
         // so the dense default (`to_dense` = clone) never holds an extra
         // N² buffer beyond what the inverter keeps.
@@ -141,6 +143,23 @@ impl<Op: LinearOperator<f64>> QsvtLinearSolver<Op> {
             inverter,
             options,
         })
+    }
+
+    /// Attach a fault injector to the quantum side (see `qls_sim::fault`).
+    /// Amplitude noise and transients degrade each inner solve; readout
+    /// sign corruption composes with the finite-shot sampling path.
+    pub fn attach_fault_injector(&mut self, injector: SharedFaultInjector) {
+        self.inverter.attach_fault_injector(injector);
+    }
+
+    /// Detach and return the fault injector, restoring ideal execution.
+    pub fn detach_fault_injector(&mut self) -> Option<SharedFaultInjector> {
+        self.inverter.detach_fault_injector()
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&SharedFaultInjector> {
+        self.inverter.fault_injector()
     }
 
     /// The solver options.
@@ -171,11 +190,19 @@ impl<Op: LinearOperator<f64>> QsvtLinearSolver<Op> {
 
     /// Solve `A x = b` once at accuracy ε_l.  `rng` is only used when shot
     /// sampling is enabled.
-    pub fn solve<R: Rng>(
+    pub fn solve<R: Rng>(&self, b: &Vector<f64>, rng: &mut R) -> Result<QsvtSolveResult, QlsError> {
+        self.solve_with_shots(b, self.options.shots, rng)
+    }
+
+    /// [`QsvtLinearSolver::solve`] with a per-call shot override (`None`
+    /// reads exact amplitudes).  This is the recovery ladder's
+    /// shot-escalation rung: the same prepared solver, more measurements.
+    pub fn solve_with_shots<R: Rng>(
         &self,
         b: &Vector<f64>,
+        shots: Option<usize>,
         rng: &mut R,
-    ) -> Result<QsvtSolveResult, QsvtError> {
+    ) -> Result<QsvtSolveResult, QlsError> {
         assert_eq!(b.len(), self.operator.nrows(), "dimension mismatch");
         // Quantum solve: direction of the solution, through the compiled-once
         // circuit (or the retained recompile-per-call baseline when the
@@ -185,54 +212,85 @@ impl<Op: LinearOperator<f64>> QsvtLinearSolver<Op> {
         } else {
             self.inverter.solve_direction(b)?
         };
-        Ok(self.finish_solve(b, direction, success_probability, rng))
+        self.finish_solve(b, direction, success_probability, shots, rng)
     }
 
     /// Solve `A x = b_k` for **many** right-hand sides, reusing the one
     /// compiled QSVT circuit across the whole batch
     /// (`QsvtInverter::solve_direction_batch`, which fans the registers out
     /// across threads in circuit mode).  Results are identical to calling
-    /// [`QsvtLinearSolver::solve`] per right-hand side in order.
+    /// [`QsvtLinearSolver::solve`] per right-hand side in order.  The first
+    /// per-system failure aborts the whole batch; use
+    /// [`QsvtLinearSolver::solve_many_checked`] to keep the healthy systems.
     pub fn solve_many<R: Rng>(
         &self,
         bs: &[Vector<f64>],
         rng: &mut R,
-    ) -> Result<Vec<QsvtSolveResult>, QsvtError> {
+    ) -> Result<Vec<QsvtSolveResult>, QlsError> {
+        self.solve_many_checked(bs, rng).into_iter().collect()
+    }
+
+    /// [`QsvtLinearSolver::solve_many`] with a **per-system verdict**: one
+    /// failed post-selection (or injected fault) no longer poisons the whole
+    /// multi-RHS batch — the affected system carries its own error while
+    /// every other system still returns its solution.
+    pub fn solve_many_checked<R: Rng>(
+        &self,
+        bs: &[Vector<f64>],
+        rng: &mut R,
+    ) -> Vec<Result<QsvtSolveResult, QlsError>> {
         if self.options.recompile_baseline {
             // The baseline has no batch path — it models the engine-less API.
             return bs.iter().map(|b| self.solve(b, rng)).collect();
         }
-        let directions = self.inverter.solve_direction_batch(bs)?;
-        Ok(bs
-            .iter()
+        let directions = self.inverter.solve_direction_batch_checked(bs);
+        bs.iter()
             .zip(directions)
-            .map(|(b, (direction, success))| self.finish_solve(b, direction, success, rng))
-            .collect())
+            .map(|(b, outcome)| {
+                let (direction, success) = outcome?;
+                self.finish_solve(b, direction, success, self.options.shots, rng)
+            })
+            .collect()
     }
 
     /// Classical pre/post-processing shared by the single and batched solve:
-    /// state-preparation accounting, optional finite-shot readout, Brent norm
-    /// recovery (Remark 2) and the cost record.
+    /// state-preparation accounting, optional finite-shot readout (with a
+    /// per-call shot override), Brent norm recovery (Remark 2) and the cost
+    /// record.  Guards the readout boundary: a non-finite direction (e.g. a
+    /// NaN-poisoned register from an injected fault) is reported as
+    /// [`QlsError::NonFinite`] instead of leaking into the refinement loop.
     fn finish_solve<R: Rng>(
         &self,
         b: &Vector<f64>,
         mut direction: Vector<f64>,
         success_probability: f64,
+        shots_override: Option<usize>,
         rng: &mut R,
-    ) -> QsvtSolveResult {
+    ) -> Result<QsvtSolveResult, QlsError> {
         // Classical pre-processing: the state-preparation tree of b/‖b‖.
         let prep = StatePreparation::new(b);
         let state_prep_flops = prep.classical_flops;
 
         // Optional finite-shot readout: perturb magnitudes with multinomial
         // sampling noise, keep the signs (sign recovery is assumed exact, see
-        // qls-sim::measure::signed_from_magnitudes).
-        let shots = self
-            .options
-            .shots
-            .unwrap_or_else(|| self.options.model_shots());
-        if let Some(s) = self.options.shots {
+        // qls-sim::measure::signed_from_magnitudes).  An attached fault
+        // injector's readout corruption composes with the sampled path —
+        // sign flips model exactly the failure `signed_from_magnitudes`
+        // assumes away.
+        let shots = shots_override.unwrap_or_else(|| self.options.model_shots());
+        if let Some(s) = shots_override {
             direction = sample_direction(&direction, s, rng);
+            if let Some(inj) = self.inverter.fault_injector() {
+                lock_injector(inj).corrupt_readout(direction.as_mut_slice());
+            }
+        }
+
+        // Readout boundary guard: everything downstream (Brent, residual)
+        // assumes finite values.
+        if !direction.iter().all(|v| v.is_finite()) {
+            return Err(QlsError::NonFinite {
+                boundary: "readout",
+            });
         }
 
         // Classical post-processing: norm recovery (Remark 2).
@@ -261,7 +319,7 @@ impl<Op: LinearOperator<f64>> QsvtLinearSolver<Op> {
         let solution = direction.scaled(scale);
         let omega = scaled_residual(&self.operator, &solution, b);
 
-        QsvtSolveResult {
+        Ok(QsvtSolveResult {
             solution,
             direction,
             scale,
@@ -275,14 +333,14 @@ impl<Op: LinearOperator<f64>> QsvtLinearSolver<Op> {
                 brent_evaluations: brent.evaluations,
                 classical_matvec_flops: 2 * self.operator.nnz(),
             },
-        }
+        })
     }
 }
 
 /// Simulate a finite-shot readout of a normalised real direction vector:
 /// magnitudes are re-estimated from a multinomial sample of `shots` outcomes,
 /// signs are kept from the exact direction.
-fn sample_direction<R: Rng>(direction: &Vector<f64>, shots: usize, rng: &mut R) -> Vector<f64> {
+pub fn sample_direction<R: Rng>(direction: &Vector<f64>, shots: usize, rng: &mut R) -> Vector<f64> {
     let probs: Vec<f64> = direction.iter().map(|&x| x * x).collect();
     let mut counts = vec![0usize; probs.len()];
     // Cumulative distribution.
@@ -443,5 +501,69 @@ mod tests {
         // Signs preserved.
         assert!(sampled[1] <= 0.0);
         assert!(sampled[0] >= 0.0);
+    }
+
+    #[test]
+    fn sampling_recovers_every_sign_on_random_directions() {
+        // Property: with enough shots the sampled direction never flips a
+        // sign on coordinates with non-negligible probability mass.
+        for seed in 0..20 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let direction = random_unit_vector(16, &mut rng);
+            let sampled = sample_direction(&direction, 100_000, &mut rng);
+            for (s, d) in sampled.iter().zip(direction.iter()) {
+                if d.abs() > 0.05 {
+                    assert!(
+                        s * d >= 0.0,
+                        "seed {seed}: sign flipped on coordinate with mass {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_error_shrinks_with_shot_count() {
+        // Property: the readout error follows the O(1/sqrt(shots)) model —
+        // averaged over seeds, 100x the shots must cut the error by well
+        // over 2x (the theoretical factor is 10x).
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let direction = random_unit_vector(32, &mut rng);
+        let mut err_lo = 0.0;
+        let mut err_hi = 0.0;
+        for seed in 0..10 {
+            let mut rng = ChaCha8Rng::seed_from_u64(1000 + seed);
+            err_lo += (&sample_direction(&direction, 1_000, &mut rng) - &direction).norm2();
+            err_hi += (&sample_direction(&direction, 100_000, &mut rng) - &direction).norm2();
+        }
+        assert!(
+            err_hi < err_lo / 2.0,
+            "100x shots only improved {err_lo:.4} -> {err_hi:.4}"
+        );
+    }
+
+    #[test]
+    fn zero_amplitude_coordinates_never_receive_counts() {
+        // Property: a coordinate with zero probability mass can never be hit
+        // by the multinomial sampler, at any seed.
+        for seed in 0..20 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let direction = Vector::from_f64_slice(&[0.8, 0.0, -0.6, 0.0, 0.0, 0.0, 0.0, 0.0]);
+            let sampled = sample_direction(&direction, 5_000, &mut rng);
+            assert_eq!(sampled[1], 0.0, "seed {seed}");
+            for i in 3..8 {
+                assert_eq!(sampled[i], 0.0, "seed {seed}, coordinate {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let direction = Vector::from_f64_slice(&[0.6, -0.64, 0.48, 0.0]);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(9);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(9);
+        let a = sample_direction(&direction, 10_000, &mut rng_a);
+        let b = sample_direction(&direction, 10_000, &mut rng_b);
+        assert_eq!(a.as_slice(), b.as_slice());
     }
 }

@@ -24,6 +24,7 @@ use num_complex::Complex64;
 use qls_encoding::DilationBlockEncoding;
 use qls_linalg::{Matrix, Svd, Vector};
 use qls_poly::InversePolynomial;
+use qls_sim::fault::{lock_injector, FaultError, SharedFaultInjector};
 use qls_sim::{
     estimate_resources, CircuitStats, OptLevel, QuantumExecutor, ResourceEstimate, StateVector,
     TCountModel,
@@ -65,6 +66,18 @@ pub enum QsvtError {
     Phases(PhaseError),
     /// Ancilla post-selection had (numerically) zero success probability.
     PostSelectionFailed,
+    /// An attached fault injector reported a transient device failure on
+    /// this run (see `qls_sim::fault`).
+    InjectedFault {
+        /// 0-based device-run index that failed.
+        run_index: usize,
+    },
+    /// The solve produced a non-finite (NaN/Inf) output — caught at the
+    /// readout boundary instead of leaking into downstream comparisons.
+    NonFiniteOutput,
+    /// An internal invariant of the solver was violated (a bug, not an
+    /// input error); the message names the invariant.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for QsvtError {
@@ -73,11 +86,33 @@ impl std::fmt::Display for QsvtError {
             QsvtError::SingularMatrix => write!(f, "matrix is singular"),
             QsvtError::Phases(e) => write!(f, "phase-factor computation failed: {e}"),
             QsvtError::PostSelectionFailed => write!(f, "ancilla post-selection failed"),
+            QsvtError::InjectedFault { run_index } => {
+                write!(f, "injected transient failure on device run {run_index}")
+            }
+            QsvtError::NonFiniteOutput => {
+                write!(f, "solve produced a non-finite (NaN/Inf) output")
+            }
+            QsvtError::Internal(what) => write!(f, "internal solver invariant violated: {what}"),
         }
     }
 }
 
-impl std::error::Error for QsvtError {}
+impl std::error::Error for QsvtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QsvtError::Phases(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultError> for QsvtError {
+    fn from(e: FaultError) -> Self {
+        match e {
+            FaultError::InjectedTransient { run_index } => QsvtError::InjectedFault { run_index },
+        }
+    }
+}
 
 /// Circuit-mode artefacts, all built exactly once in [`QsvtInverter::new`]:
 /// the QSVT circuit and the circuit **compiled** into a [`QuantumExecutor`],
@@ -103,6 +138,10 @@ pub struct QsvtInverter {
     /// Circuit-mode artefacts (phases + compiled circuit), built at
     /// construction; `None` in emulation mode.
     circuit: Option<CircuitArtefacts>,
+    /// Fault injector shared with the executor (circuit mode) or consulted
+    /// directly after the ideal output (emulation mode).  `None` keeps every
+    /// solve ideal and bit-identical to the pre-fault inverter.
+    fault: Option<SharedFaultInjector>,
 }
 
 impl QsvtInverter {
@@ -175,7 +214,41 @@ impl QsvtInverter {
             polynomial,
             mode,
             circuit,
+            fault: None,
         })
+    }
+
+    /// Attach a fault injector: in circuit mode it is handed to the compiled
+    /// executor (degrading the register after each run through the checked
+    /// execution path); in emulation mode it perturbs the ideal output
+    /// direction, modelling the same per-run degradation without a register.
+    /// The uncached baseline path stays fault-free — it is the oracle.
+    pub fn attach_fault_injector(&mut self, injector: SharedFaultInjector) {
+        if let Some(art) = self.circuit.as_mut() {
+            art.executor.attach_fault_injector(injector.clone());
+        }
+        self.fault = Some(injector);
+    }
+
+    /// Detach and return the fault injector, restoring ideal execution.
+    pub fn detach_fault_injector(&mut self) -> Option<SharedFaultInjector> {
+        if let Some(art) = self.circuit.as_mut() {
+            art.executor.detach_fault_injector();
+        }
+        self.fault.take()
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&SharedFaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// The circuit-mode artefacts, or the `Internal` error that replaces the
+    /// old `expect("circuit mode artefacts")` panics on the solve path.
+    fn artefacts(&self) -> Result<&CircuitArtefacts, QsvtError> {
+        self.circuit.as_ref().ok_or(QsvtError::Internal(
+            "circuit artefacts missing in circuit mode",
+        ))
     }
 
     /// The condition number measured from the SVD.
@@ -285,12 +358,24 @@ impl QsvtInverter {
         let mut b_normalised = b.clone();
         let norm = b_normalised.normalize();
         if norm == 0.0 {
+            // Zero right-hand sides never run the device (and so never tick
+            // an attached injector's run counter).
             return Ok((Vector::zeros(b.len()), 1.0));
         }
         let raw = match self.mode {
-            QsvtMode::Emulation => self.apply_emulated(&b_normalised),
-            QsvtMode::CircuitReal if uncached => self.apply_circuit_uncached(&b_normalised),
-            QsvtMode::CircuitReal => self.apply_circuit(&b_normalised),
+            QsvtMode::Emulation => {
+                let mut raw = self.apply_emulated(&b_normalised);
+                // Emulation never materialises a register; the injector
+                // degrades the ideal output direction instead, modelling the
+                // same device run.
+                if let Some(inj) = &self.fault {
+                    lock_injector(inj).apply_to_direction(raw.as_mut_slice())?;
+                }
+                raw
+            }
+            // The uncached baseline is the retained oracle: always ideal.
+            QsvtMode::CircuitReal if uncached => self.apply_circuit_uncached(&b_normalised)?,
+            QsvtMode::CircuitReal => self.apply_circuit(&b_normalised)?,
         };
         normalise_direction(raw)
     }
@@ -305,10 +390,24 @@ impl QsvtInverter {
         &self,
         bs: &[Vector<f64>],
     ) -> Result<Vec<(Vector<f64>, f64)>, QsvtError> {
+        self.solve_direction_batch_checked(bs).into_iter().collect()
+    }
+
+    /// [`QsvtInverter::solve_direction_batch`] with a **per-system verdict**:
+    /// one failed post-selection or injected fault no longer takes down the
+    /// whole multi-RHS batch — the affected slot carries its own error and
+    /// every other system still returns its direction.
+    pub fn solve_direction_batch_checked(
+        &self,
+        bs: &[Vector<f64>],
+    ) -> Vec<Result<(Vector<f64>, f64), QsvtError>> {
         if self.mode == QsvtMode::Emulation {
             return bs.iter().map(|b| self.solve_direction(b)).collect();
         }
-        let art = self.circuit.as_ref().expect("circuit mode artefacts");
+        let art = match self.artefacts() {
+            Ok(art) => art,
+            Err(e) => return bs.iter().map(|_| Err(e.clone())).collect(),
+        };
         // Normalise every right-hand side; zero inputs have a fixed result
         // and must not enter the batch (`nonzero` remembers which slot each
         // executed register belongs to).
@@ -323,13 +422,16 @@ impl QsvtInverter {
                 states.push(self.embed(art, &b_normalised));
             }
         }
-        art.executor.run_batch(&mut states);
-        let mut ran = states.into_iter();
+        let verdicts = art.executor.run_batch_checked(&mut states);
+        let mut ran = states.into_iter().zip(verdicts);
         nonzero
             .into_iter()
             .map(|has_state| {
                 if has_state {
-                    let state = ran.next().expect("one executed register per input");
+                    let Some((state, verdict)) = ran.next() else {
+                        return Err(QsvtError::Internal("one executed register per input"));
+                    };
+                    verdict?;
                     normalise_direction(self.project_readout(art, state))
                 } else {
                     Ok((Vector::zeros(self.matrix.nrows()), 1.0))
@@ -372,20 +474,22 @@ impl QsvtInverter {
     }
 
     /// Circuit path: run the **pre-compiled** QSVT circuit on
-    /// `|0⟩_anc ⊗ |v⟩` and project the ancillas back onto `|0⟩`.
-    fn apply_circuit(&self, v: &Vector<f64>) -> Vector<f64> {
-        let art = self.circuit.as_ref().expect("circuit mode artefacts");
+    /// `|0⟩_anc ⊗ |v⟩` and project the ancillas back onto `|0⟩`.  Runs
+    /// through the fault-checked executor path (identical to the plain path
+    /// when no injector is attached).
+    fn apply_circuit(&self, v: &Vector<f64>) -> Result<Vector<f64>, QsvtError> {
+        let art = self.artefacts()?;
         let mut state = self.embed(art, v);
-        art.executor.run_in_place(&mut state);
-        self.project_readout(art, state)
+        art.executor.run_in_place_checked(&mut state)?;
+        Ok(self.project_readout(art, state))
     }
 
     /// The pre-compile-once circuit path, kept as the old per-solve
     /// behaviour: normalisation pass on entry, circuit recompiled inside
     /// `apply_circuit`, ancilla index list rebuilt.  Baseline only — see
     /// [`QsvtInverter::solve_direction_uncached`].
-    fn apply_circuit_uncached(&self, v: &Vector<f64>) -> Vector<f64> {
-        let art = self.circuit.as_ref().expect("circuit mode artefacts");
+    fn apply_circuit_uncached(&self, v: &Vector<f64>) -> Result<Vector<f64>, QsvtError> {
+        let art = self.artefacts()?;
         let n = art.qsvt.num_data_qubits();
         let total = n + art.qsvt.num_ancilla_qubits();
         let dim = 1usize << n;
@@ -396,7 +500,7 @@ impl QsvtInverter {
         let mut sv = StateVector::from_amplitudes(amps);
         sv.apply_circuit(art.qsvt.circuit());
         sv.project_zeros(&(n..total).collect::<Vec<_>>());
-        (0..dim).map(|i| sv.amplitudes()[i].re).collect()
+        Ok((0..dim).map(|i| sv.amplitudes()[i].re).collect())
     }
 
     /// The relative forward error `‖x̂ − A⁻¹b‖ / ‖A⁻¹b‖` of the direction this
@@ -417,7 +521,17 @@ impl QsvtInverter {
 
 /// Normalise a raw QSVT output into the solution direction and the ancilla
 /// post-selection success probability `‖P(A†/α) b̂‖²`.
+///
+/// Guards the readout boundary: a non-finite output (e.g. a NaN-poisoned
+/// register from an injected fault) is reported as
+/// [`QsvtError::NonFiniteOutput`] here, where it entered, instead of leaking
+/// NaN into downstream norm comparisons — NaN fails every `==`/`>` test, so
+/// without this guard a poisoned register would sail through the zero-norm
+/// check below and corrupt the refinement loop silently.
 fn normalise_direction(mut direction: Vector<f64>) -> Result<(Vector<f64>, f64), QsvtError> {
+    if !direction.iter().all(|v| v.is_finite()) {
+        return Err(QsvtError::NonFiniteOutput);
+    }
     let out_norm = direction.normalize();
     let success = out_norm * out_norm;
     if out_norm == 0.0 {

@@ -41,6 +41,7 @@
 //! not move.
 
 use crate::circuit::Circuit;
+use crate::fault::{lock_injector, FaultError, SharedFaultInjector};
 use crate::fuse::{CircuitStats, FusionOptions};
 use crate::kernels::{CompiledCircuit, PARALLEL_WORK_THRESHOLD};
 use crate::state::StateVector;
@@ -68,6 +69,11 @@ pub struct QuantumExecutor {
     /// Before/after fusion report (`None` for [`OptLevel::None`] and for
     /// [`QuantumExecutor::from_compiled`]).
     stats: Option<CircuitStats>,
+    /// Fault injector consulted by the *checked* execution paths only
+    /// ([`QuantumExecutor::run_in_place_checked`],
+    /// [`QuantumExecutor::run_batch_checked`]); `None` (the default) keeps
+    /// every path fault-free and bit-identical to the pre-fault engine.
+    fault: Option<SharedFaultInjector>,
 }
 
 impl QuantumExecutor {
@@ -99,6 +105,7 @@ impl QuantumExecutor {
                 compiled: CompiledCircuit::compile_for(circuit, num_qubits),
                 opt_level,
                 stats: None,
+                fault: None,
             },
             OptLevel::Fuse => {
                 let (compiled, stats) =
@@ -107,6 +114,7 @@ impl QuantumExecutor {
                     compiled,
                     opt_level,
                     stats: Some(stats),
+                    fault: None,
                 }
             }
         }
@@ -118,7 +126,26 @@ impl QuantumExecutor {
             compiled,
             opt_level: OptLevel::None,
             stats: None,
+            fault: None,
         }
+    }
+
+    /// Attach a fault injector.  Only the checked execution paths consult it
+    /// ([`QuantumExecutor::run_in_place_checked`],
+    /// [`QuantumExecutor::run_batch_checked`]); the plain `run*` family stays
+    /// fault-free so it keeps serving as the equivalence oracle.
+    pub fn attach_fault_injector(&mut self, injector: SharedFaultInjector) {
+        self.fault = Some(injector);
+    }
+
+    /// Detach and return the fault injector, restoring ideal execution.
+    pub fn detach_fault_injector(&mut self) -> Option<SharedFaultInjector> {
+        self.fault.take()
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&SharedFaultInjector> {
+        self.fault.as_ref()
     }
 
     /// The optimization level the engine was built with.
@@ -202,6 +229,44 @@ impl QuantumExecutor {
     pub fn run_batch_vec(&self, mut states: Vec<StateVector>) -> Vec<StateVector> {
         self.run_batch(&mut states);
         states
+    }
+
+    /// [`QuantumExecutor::run_in_place`] through the fault layer: apply the
+    /// compiled circuit, then let the attached injector (if any) degrade the
+    /// register or report a transient failure.  Without an injector this is
+    /// exactly `run_in_place` — same kernels, same floats.
+    pub fn run_in_place_checked(&self, state: &mut StateVector) -> Result<(), FaultError> {
+        self.compiled.apply(state);
+        if let Some(inj) = &self.fault {
+            lock_injector(inj).apply_to_state(state)?;
+        }
+        Ok(())
+    }
+
+    /// [`QuantumExecutor::run_batch`] through the fault layer, with a
+    /// per-register verdict so one injected failure cannot take down the
+    /// whole batch.  With an injector attached the registers run
+    /// sequentially in order — the injector's run counter and random stream
+    /// must advance deterministically, which a thread fan-out cannot
+    /// guarantee; without one, this defers to [`QuantumExecutor::run_batch`]
+    /// (bit-identical, fully parallel).
+    pub fn run_batch_checked(&self, states: &mut [StateVector]) -> Vec<Result<(), FaultError>> {
+        match &self.fault {
+            None => {
+                self.run_batch(states);
+                vec![Ok(()); states.len()]
+            }
+            Some(inj) => {
+                let mut guard = lock_injector(inj);
+                states
+                    .iter_mut()
+                    .map(|state| {
+                        self.compiled.apply(state);
+                        guard.apply_to_state(state)
+                    })
+                    .collect()
+            }
+        }
     }
 }
 
@@ -287,6 +352,48 @@ mod tests {
         let mut direct = StateVector::zero_state(5);
         direct.apply_circuit(&circ);
         assert!(max_diff(&out, &direct) < 1e-12);
+    }
+
+    #[test]
+    fn checked_paths_without_injector_match_the_plain_paths() {
+        let circ = test_circuit(5);
+        let exec = QuantumExecutor::new(&circ);
+        assert!(exec.fault_injector().is_none());
+        let mut checked = StateVector::zero_state(5);
+        exec.run_in_place_checked(&mut checked).unwrap();
+        assert_eq!(checked.amplitudes(), exec.run_zero().amplitudes());
+        let mut batch: Vec<StateVector> = (0..4).map(|i| StateVector::basis_state(5, i)).collect();
+        let plain = exec.run_batch_vec(batch.clone());
+        let verdicts = exec.run_batch_checked(&mut batch);
+        assert!(verdicts.iter().all(|v| v.is_ok()));
+        for (c, p) in batch.iter().zip(&plain) {
+            assert_eq!(c.amplitudes(), p.amplitudes());
+        }
+    }
+
+    #[test]
+    fn injected_transient_fails_only_its_own_register() {
+        use crate::fault::{FaultInjector, FaultPlan, TransientKind};
+        let circ = test_circuit(4);
+        let mut exec = QuantumExecutor::new(&circ);
+        exec.attach_fault_injector(FaultInjector::shared(
+            FaultPlan::new(5).with_transient(1, TransientKind::InjectedError),
+        ));
+        let mut batch: Vec<StateVector> = (0..3).map(|i| StateVector::basis_state(4, i)).collect();
+        let verdicts = exec.run_batch_checked(&mut batch);
+        assert!(verdicts[0].is_ok());
+        assert_eq!(
+            verdicts[1],
+            Err(FaultError::InjectedTransient { run_index: 1 })
+        );
+        assert!(verdicts[2].is_ok());
+        // Registers 0 and 2 still hold the ideal result (no amplitude noise
+        // in this plan).
+        let ideal = exec.run(&StateVector::basis_state(4, 2));
+        assert_eq!(batch[2].amplitudes(), ideal.amplitudes());
+        let detached = exec.detach_fault_injector();
+        assert!(detached.is_some());
+        assert!(exec.fault_injector().is_none());
     }
 
     #[test]

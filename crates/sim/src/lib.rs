@@ -60,6 +60,18 @@
 //! `kernels::reference`, serving as the property-test oracle and the baseline
 //! of the `BENCH_simulator.json` perf trajectory (`bench_json` binary).
 //!
+//! ## Fault injection
+//!
+//! The [`fault`] module supplies a seeded, deterministic degradation layer:
+//! a declarative [`FaultPlan`] (Gaussian amplitude noise, scheduled transient
+//! failures, readout sign corruption) executed by a [`FaultInjector`]
+//! attachable to [`QuantumExecutor`].  Only the *checked* execution paths
+//! (`run_in_place_checked`, `run_batch_checked`) consult it; the plain
+//! `run*` family never degrades, so the no-fault configuration stays
+//! bit-identical to the ideal simulator and serves as the equivalence
+//! oracle for the robustness layer built on top (`qls-core`'s recovery
+//! ladder).
+//!
 //! ## Qubit convention
 //!
 //! Qubit `q` is bit `q` of the basis-state index (little-endian).  Helper
@@ -83,6 +95,7 @@
 pub mod circuit;
 pub mod cmatrix;
 pub mod executor;
+pub mod fault;
 pub mod fuse;
 pub mod gate;
 pub mod kernels;
@@ -94,6 +107,10 @@ pub mod unitary;
 pub use circuit::{Circuit, Operation};
 pub use cmatrix::CMatrix;
 pub use executor::{OptLevel, QuantumExecutor};
+pub use fault::{
+    FaultError, FaultEvent, FaultInjector, FaultPlan, SharedFaultInjector, TransientFault,
+    TransientKind,
+};
 pub use fuse::{optimize_circuit, CircuitStats, FusionOptions};
 pub use gate::Gate;
 pub use kernels::{circuit_compile_count, CompiledCircuit, CompiledOp, PARALLEL_WORK_THRESHOLD};

@@ -1,0 +1,155 @@
+//! Determinism and equivalence-oracle tests for the fault-injection layer
+//! ([`qls_sim::fault`]) wired through [`qls_sim::QuantumExecutor`]:
+//!
+//! * the checked execution paths with **no** injector (or an empty plan) are
+//!   bit-identical to the plain `run*` family — the house oracle pattern;
+//! * a seeded [`FaultPlan`] replays the *exact* same degradation on every
+//!   fresh injector built from it, across single and batched execution;
+//! * scheduled transients hit precisely the run index they name, and in a
+//!   batch only the register executed at that index.
+
+use num_complex::Complex64;
+use qls_sim::{
+    Circuit, FaultError, FaultInjector, FaultPlan, QuantumExecutor, StateVector, TransientKind,
+};
+
+fn circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c.rz(0, 0.3).t(n - 1);
+    c
+}
+
+fn inputs(n: usize, count: usize) -> Vec<StateVector> {
+    (0..count)
+        .map(|i| {
+            let dim = 1usize << n;
+            let amps: Vec<Complex64> = (0..dim)
+                .map(|k| {
+                    let x = ((k * 41 + i * 17) % 89) as f64 / 89.0 - 0.5;
+                    Complex64::new(x, 0.25 - x / 3.0)
+                })
+                .collect();
+            StateVector::from_amplitudes(amps)
+        })
+        .collect()
+}
+
+#[test]
+fn checked_run_without_injector_is_bit_identical_to_plain_run() {
+    let c = circuit(5);
+    let exec = QuantumExecutor::new(&c);
+    for input in inputs(5, 3) {
+        let plain = exec.run(&input);
+        let mut checked = input.clone();
+        exec.run_in_place_checked(&mut checked).unwrap();
+        assert_eq!(plain.amplitudes(), checked.amplitudes());
+    }
+}
+
+#[test]
+fn empty_plan_keeps_the_checked_path_on_the_oracle() {
+    let c = circuit(5);
+    let mut exec = QuantumExecutor::new(&c);
+    let baseline: Vec<_> = inputs(5, 4).into_iter().map(|s| exec.run(&s)).collect();
+    exec.attach_fault_injector(FaultInjector::shared(FaultPlan::new(7)));
+    let mut batch = inputs(5, 4);
+    for verdict in exec.run_batch_checked(&mut batch) {
+        verdict.unwrap();
+    }
+    for (ideal, degraded) in baseline.iter().zip(&batch) {
+        assert_eq!(ideal.amplitudes(), degraded.amplitudes());
+    }
+}
+
+#[test]
+fn seeded_plans_replay_identically_across_fresh_injectors() {
+    let plan = FaultPlan::new(99)
+        .with_amplitude_noise(1e-3)
+        .with_readout_sign_flips(0.2);
+    let c = circuit(5);
+
+    let run_all = || {
+        let mut exec = QuantumExecutor::new(&c);
+        let injector = FaultInjector::shared(plan.clone());
+        exec.attach_fault_injector(injector.clone());
+        let mut states = inputs(5, 4);
+        for verdict in exec.run_batch_checked(&mut states) {
+            verdict.unwrap();
+        }
+        // Readout corruption draws from the same stream, after the runs.
+        let mut readout = vec![0.25f64; 8];
+        qls_sim::fault::lock_injector(&injector).corrupt_readout(&mut readout);
+        (
+            states
+                .into_iter()
+                .map(StateVector::into_amplitudes)
+                .collect::<Vec<_>>(),
+            readout,
+        )
+    };
+
+    let (states_a, readout_a) = run_all();
+    let (states_b, readout_b) = run_all();
+    assert_eq!(states_a, states_b, "amplitude noise must replay exactly");
+    assert_eq!(
+        readout_a, readout_b,
+        "readout corruption must replay exactly"
+    );
+    // And the noise actually did something relative to the ideal run.
+    let ideal = QuantumExecutor::new(&c).run(&inputs(5, 4)[0]);
+    assert_ne!(ideal.amplitudes(), states_a[0].as_slice());
+}
+
+#[test]
+fn batched_and_sequential_checked_runs_agree() {
+    // The batch path locks the injector once and walks the registers in
+    // order, so it must consume the fault stream exactly like a sequential
+    // loop of single checked runs.
+    let plan = FaultPlan::new(41).with_amplitude_noise(5e-4);
+    let c = circuit(5);
+
+    let mut seq_exec = QuantumExecutor::new(&c);
+    seq_exec.attach_fault_injector(FaultInjector::shared(plan.clone()));
+    let mut sequential = inputs(5, 4);
+    for state in &mut sequential {
+        seq_exec.run_in_place_checked(state).unwrap();
+    }
+
+    let mut batch_exec = QuantumExecutor::new(&c);
+    batch_exec.attach_fault_injector(FaultInjector::shared(plan));
+    let mut batched = inputs(5, 4);
+    for verdict in batch_exec.run_batch_checked(&mut batched) {
+        verdict.unwrap();
+    }
+
+    for (s, b) in sequential.iter().zip(&batched) {
+        assert_eq!(s.amplitudes(), b.amplitudes());
+    }
+}
+
+#[test]
+fn transients_hit_exactly_the_scheduled_run_in_a_batch() {
+    let plan = FaultPlan::new(3).with_transient(2, TransientKind::InjectedError);
+    let c = circuit(5);
+    let mut exec = QuantumExecutor::new(&c);
+    exec.attach_fault_injector(FaultInjector::shared(plan));
+    let mut states = inputs(5, 5);
+    let verdicts = exec.run_batch_checked(&mut states);
+    for (i, verdict) in verdicts.iter().enumerate() {
+        if i == 2 {
+            assert_eq!(
+                *verdict,
+                Err(FaultError::InjectedTransient { run_index: 2 }),
+                "register {i}"
+            );
+        } else {
+            assert!(verdict.is_ok(), "register {i}");
+        }
+    }
+}

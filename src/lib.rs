@@ -34,9 +34,28 @@
 //!   batched multi-RHS solves via `solve_direction_batch`);
 //! * [`core`] (`qls-core`) — the hybrid solver (Algorithm 2; `HybridRefiner`
 //!   reuses one compiled circuit across all refinement iterations and all
-//!   right-hand sides of `solve_many`, and accepts any `LinearOperator` —
-//!   its classical residual path is O(nnz) on structured problems), cost
-//!   models, communication model and baselines.
+//!   right-hand sides of `solve_many`, and accepts any `FactorizableOperator`
+//!   — its classical residual path is O(nnz) on structured problems), cost
+//!   models, communication model, baselines, the unified `QlsError`
+//!   taxonomy, and the fault-recovery ladder (`RecoveryPolicy`: retry →
+//!   escalate shots → tighten ε_l → classical fallback, audited in a
+//!   `RecoveryLog`).
+//!
+//! ## Robustness: faults and recovery
+//!
+//! The simulator carries a seeded, deterministic fault layer
+//! (`qls_sim::fault`): a declarative `FaultPlan` — Gaussian amplitude
+//! noise, transient failures scheduled by run index, readout sign
+//! corruption — executed by a `FaultInjector` that attaches to
+//! `QuantumExecutor`, `QsvtInverter`, `QsvtLinearSolver` or `HybridRefiner`.
+//! Only *checked* execution paths consult it; the plain paths never
+//! degrade, so a no-fault configuration is bit-identical to the ideal
+//! simulator (the equivalence-oracle pattern — asserted by
+//! `tests/fault_recovery.rs` and the `qls-sim` fault suites).  On top, the
+//! refiner's `RecoveryPolicy` ladder absorbs injected faults, failed
+//! post-selections, non-finite values and stalled contraction; see
+//! `examples/noisy_refinement.rs` for the end-to-end demonstration and
+//! `qls_core::refine` for how to write deterministic fault tests.
 //!
 //! ## Workspace layout
 //!
@@ -72,7 +91,9 @@
 //! * `cargo run --release --example quickstart` — end-to-end hybrid solve
 //!   (also `poisson1d`, `poisson1d_multirhs` — the batched multi-RHS
 //!   workload — `poisson2d` — the matrix-free 2-D stencil workload —
-//!   `hhl_vs_qsvt`, `precision_tradeoff`, `circuit_resources`).
+//!   `noisy_refinement` — the fault-injection + recovery-ladder
+//!   demonstration — `hhl_vs_qsvt`, `precision_tradeoff`,
+//!   `circuit_resources`).
 //! * `cargo bench` — criterion micro-benchmarks of every substrate
 //!   (`crates/bench/benches/`).
 //! * `cargo run --release -p qls-bench --bin table1` — regenerate Table I;
@@ -94,9 +115,10 @@ pub use qls_sim as sim;
 pub mod prelude {
     pub use qls_core::{
         classical_lu_solve, poisson_cost_breakdown, qsvt_degree_model, quantum_cost_comparison,
-        CommunicationParameters, CommunicationSchedule, CostParameters, DirectQsvtSolver,
-        Direction, HhlOptions, HhlResult, HhlSolver, HybridHistory, HybridRefinementOptions,
-        HybridRefiner, HybridStatus, PoissonCostParameters, QsvtLinearSolver, QsvtSolverOptions,
+        sample_direction, CommunicationParameters, CommunicationSchedule, CostParameters,
+        DirectQsvtSolver, Direction, FailureReason, HhlOptions, HhlResult, HhlSolver,
+        HybridHistory, HybridRefinementOptions, HybridRefiner, HybridStatus, PoissonCostParameters,
+        QlsError, QsvtLinearSolver, QsvtSolverOptions, RecoveryAction, RecoveryLog, RecoveryPolicy,
     };
     pub use qls_encoding::{
         BlockEncoding, BlockEncodingExecutor, BlockEncodingExt, DilationBlockEncoding,
@@ -119,8 +141,8 @@ pub mod prelude {
     pub use qls_poly::{ChebyshevSeries, InversePolynomial};
     pub use qls_qsvt::{QsvtInverter, QsvtMode};
     pub use qls_sim::{
-        estimate_resources, fusion_stats, Circuit, CircuitStats, FusionOptions, Gate, OptLevel,
-        QuantumExecutor, StateVector, TCountModel,
+        estimate_resources, fusion_stats, Circuit, CircuitStats, FaultInjector, FaultPlan,
+        FusionOptions, Gate, OptLevel, QuantumExecutor, StateVector, TCountModel, TransientKind,
     };
 
     pub use rand::SeedableRng;

@@ -125,6 +125,7 @@ fn sampled_readout_still_converges_to_a_coarser_target() {
                 shots: Some(5_000_000),
                 ..Default::default()
             },
+            ..Default::default()
         },
     )
     .unwrap();
