@@ -68,6 +68,7 @@ pub mod precision;
 pub mod qr;
 pub mod refine;
 pub mod scalar;
+mod simd;
 pub mod sparse;
 pub mod stencil;
 pub mod svd;

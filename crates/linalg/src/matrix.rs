@@ -10,6 +10,7 @@
 //! genuinely use the machine's cores above [`PAR_THRESHOLD`].
 
 use crate::scalar::Real;
+use crate::simd;
 use crate::vector::Vector;
 use rayon::prelude::*;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
@@ -196,7 +197,21 @@ impl<T: Real> Matrix<T> {
     }
 
     /// Matrix-vector product `A x`.
+    ///
+    /// For `T = f64` this runs the SIMD row-group kernel (see
+    /// [`crate::simd`]); the result is bit-identical to
+    /// [`Matrix::matvec_scalar`], which every other precision uses directly.
     pub fn matvec(&self, x: &Vector<T>) -> Vector<T> {
+        assert_eq!(self.cols, x.len(), "matvec: dimension mismatch");
+        if simd::is_f64::<T>() {
+            return self.matvec_f64_simd(x);
+        }
+        self.matvec_scalar(x)
+    }
+
+    /// Scalar matvec kernel — the pre-SIMD loop kept verbatim as the
+    /// equivalence oracle (and the only path for non-`f64` precisions).
+    pub fn matvec_scalar(&self, x: &Vector<T>) -> Vector<T> {
         assert_eq!(self.cols, x.len(), "matvec: dimension mismatch");
         let xs = x.as_slice();
         let work = self.rows * self.cols;
@@ -206,6 +221,29 @@ impl<T: Real> Matrix<T> {
                 .zip(xs)
                 .fold(T::zero(), |acc, (&a, &b)| a.mul_add(b, acc))
         })
+    }
+
+    /// SIMD matvec for `T = f64`: groups of four output rows per lane set,
+    /// row-partitioned across threads above the shared work threshold.
+    fn matvec_f64_simd(&self, x: &Vector<T>) -> Vector<T> {
+        let cols = self.cols;
+        let a = simd::as_f64(self.as_slice());
+        let xs = simd::as_f64(x.as_slice());
+        let mut out = vec![T::zero(); self.rows];
+        let os = simd::as_f64_mut(&mut out);
+        let work = self.rows * cols;
+        if work >= PAR_THRESHOLD && cols > 0 {
+            // Whole lane-groups per task so only the final task has a
+            // scalar remainder (identical results either way).
+            const GROUP: usize = 8 * simd::LANES;
+            os.par_chunks_mut(GROUP).enumerate().for_each(|(g, chunk)| {
+                let r0 = g * GROUP;
+                simd::dense_matvec(&a[r0 * cols..(r0 + chunk.len()) * cols], cols, xs, chunk);
+            });
+        } else {
+            simd::dense_matvec(a, cols, xs, os);
+        }
+        Vector::from_vec(out)
     }
 
     /// Transposed matrix-vector product `Aᵀ x`.
@@ -222,8 +260,56 @@ impl<T: Real> Matrix<T> {
         out
     }
 
-    /// Matrix product `A B` (ikj loop order, rayon over rows of `A` when large).
+    /// Matrix product `A B` (ikj loop order, rayon over rows of `A` when
+    /// large).
+    ///
+    /// For `T = f64` this runs the cache-blocked SIMD kernel (see
+    /// [`crate::simd`]); the result is bit-identical to
+    /// [`Matrix::matmul_scalar`], which every other precision uses directly.
     pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
+        if simd::is_f64::<T>() {
+            return self.matmul_f64_simd(other);
+        }
+        self.matmul_scalar(other)
+    }
+
+    /// SIMD + cache-blocked matmul for `T = f64`: thread tasks own blocks of
+    /// output rows; within a block the `k` dimension is tiled so each panel
+    /// of `B` is reused across the block's rows while cache-hot.
+    fn matmul_f64_simd(&self, other: &Self) -> Self {
+        let m = self.rows;
+        let k = self.cols;
+        let n = other.cols;
+        let mut data = vec![T::zero(); m * n];
+        if m > 0 && n > 0 {
+            let a = simd::as_f64(&self.data);
+            let b = simd::as_f64(&other.data);
+            let os = simd::as_f64_mut(&mut data);
+            let work = m * k * n;
+            if work >= PAR_THRESHOLD {
+                const ROW_BLOCK: usize = 8;
+                os.par_chunks_mut(ROW_BLOCK * n)
+                    .enumerate()
+                    .for_each(|(blk, out_blk)| {
+                        let i0 = blk * ROW_BLOCK;
+                        let ni = out_blk.len() / n;
+                        simd::matmul_block(&a[i0 * k..(i0 + ni) * k], k, b, n, out_blk);
+                    });
+            } else {
+                simd::matmul_block(a, k, b, n, os);
+            }
+        }
+        Matrix {
+            rows: m,
+            cols: n,
+            data,
+        }
+    }
+
+    /// Scalar matmul kernel — the pre-SIMD loop kept verbatim as the
+    /// equivalence oracle (and the only path for non-`f64` precisions).
+    pub fn matmul_scalar(&self, other: &Self) -> Self {
         assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
         let m = self.rows;
         let k = self.cols;

@@ -15,10 +15,12 @@
 //! makes the product parallel above the shared work threshold
 //! (`matrix::PAR_THRESHOLD`, the same rayon pattern as `Matrix::matvec`).
 
-use crate::matrix::{par_map_rows, Matrix};
+use crate::matrix::{par_map_rows, Matrix, PAR_THRESHOLD};
 use crate::operator::LinearOperator;
 use crate::scalar::Real;
+use crate::simd;
 use crate::vector::Vector;
+use rayon::prelude::*;
 
 /// A sparse matrix in compressed-sparse-row format.
 ///
@@ -162,7 +164,23 @@ impl<T: Real> SparseMatrix<T> {
 
     /// Matrix-vector product `A x` in O(nnz), row-partitioned across threads
     /// above the shared work threshold.
+    ///
+    /// For `T = f64` this runs the row-group SIMD kernel (see
+    /// [`crate::simd`]); the result is bit-identical to
+    /// [`SparseMatrix::matvec_scalar`] — and therefore still bit-identical
+    /// to the dense oracle — for every row shape, including empty and
+    /// single-entry rows (padded lanes are exact no-op fmas).
     pub fn matvec(&self, x: &Vector<T>) -> Vector<T> {
+        assert_eq!(self.cols, x.len(), "sparse matvec: dimension mismatch");
+        if simd::is_f64::<T>() {
+            return self.matvec_f64_simd(x);
+        }
+        self.matvec_scalar(x)
+    }
+
+    /// Scalar SpMV kernel — the pre-SIMD loop kept verbatim as the
+    /// equivalence oracle (and the only path for non-`f64` precisions).
+    pub fn matvec_scalar(&self, x: &Vector<T>) -> Vector<T> {
         assert_eq!(self.cols, x.len(), "sparse matvec: dimension mismatch");
         let xs = x.as_slice();
         par_map_rows(self.nnz(), self.rows, |i| {
@@ -171,6 +189,24 @@ impl<T: Real> SparseMatrix<T> {
                 .zip(vals)
                 .fold(T::zero(), |acc, (&c, &v)| v.mul_add(xs[c], acc))
         })
+    }
+
+    /// SIMD SpMV for `T = f64`: four output rows per lane group,
+    /// row-partitioned across threads above the shared work threshold.
+    fn matvec_f64_simd(&self, x: &Vector<T>) -> Vector<T> {
+        let xs = simd::as_f64(x.as_slice());
+        let vals = simd::as_f64(&self.values);
+        let mut out = vec![T::zero(); self.rows];
+        let os = simd::as_f64_mut(&mut out);
+        if self.nnz() >= PAR_THRESHOLD {
+            const GROUP: usize = 16 * simd::LANES;
+            os.par_chunks_mut(GROUP).enumerate().for_each(|(g, chunk)| {
+                simd::spmv(&self.row_ptr, &self.col_idx, vals, xs, chunk, g * GROUP);
+            });
+        } else {
+            simd::spmv(&self.row_ptr, &self.col_idx, vals, xs, os, 0);
+        }
+        Vector::from_vec(out)
     }
 
     /// Transposed matrix-vector product `Aᵀ x` in O(nnz) (sequential column

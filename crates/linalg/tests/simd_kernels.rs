@@ -1,0 +1,119 @@
+//! SIMD ↔ scalar bit-identity for the `qls-linalg` hot loops.
+//!
+//! The vectorized dense matvec, CSR SpMV and blocked matmul of
+//! `qls_linalg::simd` assign one **output element per lane** and accumulate
+//! in the scalar kernels' exact operation order, so `matvec` /
+//! `SparseMatrix::matvec` / `matmul` must equal their `_scalar` oracles
+//! **bit for bit** — on random shapes and on the adversarial CSR layouts
+//! the ragged-lane padding exists for: empty rows, single-entry rows,
+//! wildly uneven row lengths, and dimensions that are not lane multiples.
+
+use proptest::prelude::*;
+use qls_linalg::{Matrix, SparseMatrix, Vector};
+
+/// Deterministic pseudo-random value in [-1, 1] from integer coordinates.
+fn hash_val(i: usize, j: usize, seed: u64) -> f64 {
+    let mut h = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((i as u64) << 32 | j as u64);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    (h % 2_000_001) as f64 / 1_000_000.0 - 1.0
+}
+
+fn test_vector(n: usize, seed: u64) -> Vector<f64> {
+    (0..n).map(|i| hash_val(i, 7, seed)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dense_matvec_is_bit_identical_to_the_scalar_oracle(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        seed in 0u64..10_000,
+    ) {
+        let a = Matrix::from_fn(rows, cols, |i, j| hash_val(i, j, seed));
+        let x = test_vector(cols, seed.wrapping_add(3));
+        let (fast, slow) = (a.matvec(&x), a.matvec_scalar(&x));
+        prop_assert_eq!(fast.as_slice(), slow.as_slice());
+    }
+
+    #[test]
+    fn matmul_is_bit_identical_to_the_scalar_oracle(
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let a = Matrix::from_fn(m, k, |i, j| hash_val(i, j, seed));
+        let b = Matrix::from_fn(k, n, |i, j| hash_val(i, j, seed.wrapping_add(5)));
+        let fast = a.matmul(&b);
+        let slow = a.matmul_scalar(&b);
+        prop_assert_eq!(fast.as_slice(), slow.as_slice());
+    }
+
+    #[test]
+    fn spmv_is_bit_identical_on_random_sparsity(
+        n in 1usize..48,
+        density in 0u64..100,
+        seed in 0u64..10_000,
+    ) {
+        let dense = Matrix::from_fn(n, n, |i, j| {
+            if (hash_val(i, j, seed.wrapping_add(1)).abs() * 100.0) as u64 <= density {
+                hash_val(i, j, seed)
+            } else {
+                0.0
+            }
+        });
+        let sparse = SparseMatrix::from_dense(&dense);
+        let x = test_vector(n, seed.wrapping_add(11));
+        let (fast, slow) = (sparse.matvec(&x), sparse.matvec_scalar(&x));
+        prop_assert_eq!(fast.as_slice(), slow.as_slice());
+    }
+}
+
+/// The ragged-lane cases the CSR kernel's `fma(0, 0, acc)` padding exists
+/// for: a lane group mixing an empty row, a single-entry row, a full row
+/// and a two-entry row, plus a trailing non-lane-multiple remainder.
+#[test]
+fn spmv_handles_adversarial_row_shapes_bit_identically() {
+    let n = 11; // not a multiple of the 4-wide lane groups
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+    // Row 0: empty.  Row 1: single entry.  Row 2: full.  Row 3: two entries.
+    triplets.push((1, 6, 2.5));
+    for j in 0..n {
+        triplets.push((2, j, hash_val(2, j, 42)));
+    }
+    triplets.push((3, 0, -1.0));
+    triplets.push((3, n - 1, 4.0));
+    // Rows 4..8: geometrically growing lengths (1, 2, 4, 8 entries).
+    for (r, len) in (4..8).zip([1usize, 2, 4, 8]) {
+        for j in 0..len {
+            triplets.push((r, j, hash_val(r, j, 7)));
+        }
+    }
+    // Rows 8..11: the remainder group — one empty, two ragged.
+    triplets.push((9, 3, 0.5));
+    triplets.push((10, 0, hash_val(10, 0, 9)));
+    triplets.push((10, 5, hash_val(10, 5, 9)));
+    let sparse = SparseMatrix::from_triplets(n, n, &triplets);
+    let x = test_vector(n, 123);
+    let (fast, slow) = (sparse.matvec(&x), sparse.matvec_scalar(&x));
+    assert_eq!(fast.as_slice(), slow.as_slice());
+    // And against the dense oracle: structural-zero skips are exact no-ops.
+    let dense = sparse.to_dense().matvec_scalar(&x);
+    assert_eq!(fast.as_slice(), dense.as_slice());
+}
+
+/// An all-empty matrix (every row length 0) must yield exact zeros.
+#[test]
+fn spmv_on_an_empty_matrix_is_exactly_zero() {
+    let sparse = SparseMatrix::<f64>::from_triplets(9, 9, &[]);
+    let x = test_vector(9, 77);
+    let y = sparse.matvec(&x);
+    assert!(y.as_slice().iter().all(|&v| v == 0.0));
+    assert_eq!(y.as_slice(), sparse.matvec_scalar(&x).as_slice());
+}

@@ -55,8 +55,9 @@ pub enum OptLevel {
     ///
     /// [`CompiledOp`]: crate::kernels::CompiledOp
     None,
-    /// Run gate fusion + diagonal merging ([`crate::fuse`], default
-    /// [`FusionOptions`]) before compiling.  The default.
+    /// Run gate fusion + diagonal merging ([`crate::fuse`]) with the
+    /// measured cost model ([`FusionOptions::measured`]) before compiling.
+    /// The default.
     #[default]
     Fuse,
 }
@@ -108,8 +109,11 @@ impl QuantumExecutor {
                 fault: None,
             },
             OptLevel::Fuse => {
-                let (compiled, stats) =
-                    CompiledCircuit::optimized_with(circuit, num_qubits, &FusionOptions::default());
+                let (compiled, stats) = CompiledCircuit::optimized_with(
+                    circuit,
+                    num_qubits,
+                    &FusionOptions::measured(),
+                );
                 QuantumExecutor {
                     compiled,
                     opt_level,
@@ -401,9 +405,9 @@ mod tests {
         let exec = QuantumExecutor::new(&test_circuit(2));
         exec.run_batch(&mut []);
         assert!(!exec.is_empty());
-        // h + cx survive (mismatched controls block fusion); ry(0) and the
-        // rz/t/phase chain on qubit 1 fuse into one 2-qubit dense op.
-        assert_eq!(exec.len(), 3);
+        // On the tiny 2-qubit register the mask-densifying pass collapses
+        // the whole circuit (cx included) into one dense 2-qubit unitary.
+        assert_eq!(exec.len(), 1);
         let raw = QuantumExecutor::with_options(&test_circuit(2), OptLevel::None);
         assert_eq!(raw.len(), 1 + 1 + 3 + 1); // h + cx + ry/rz/t + phase
     }

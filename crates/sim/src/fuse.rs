@@ -29,6 +29,15 @@
 //!    are dropped, and diagonal factors that do not depend on one of their
 //!    qubits are pruned down to their true support.
 //!
+//! 3b. **Mask-densifying controlled fusion.**  Controlled operations with
+//!    *different* control sets (and overlapping supports) can still fuse:
+//!    each is embedded as an uncontrolled block-diagonal matrix over
+//!    `controls ∪ targets` (identity wherever its controls are unsatisfied)
+//!    and the embeddings are multiplied.  The fused op trades the cheap
+//!    control-subspace enumeration for a dense sweep, so this fusion lives
+//!    or dies by the cost gate: it fires on small, dispatch-dominated
+//!    registers and is rejected where the densified sweep would cost more.
+//!
 //! The pass is a single greedy sweep: each incoming operation looks backwards
 //! through the last [`FusionOptions::lookback`] emitted segments, hopping
 //! over segments it commutes with (disjoint support, or both diagonal), and
@@ -38,7 +47,22 @@
 //! ([`FusionOptions::op_overhead_cost`]) is rejected, so cheap structured
 //! sweeps survive on large registers where arithmetic dominates dispatch,
 //! while small solver registers (dispatch-dominated) and cost-neutral fusions
-//! (nested or equal targets — the QSVT collapse) fuse at any size.
+//! (nested or equal targets — the QSVT collapse) fuse at any size.  When a
+//! *pairwise* fusion is cost-rejected, a **two-op lookahead** composes the
+//! candidate with the preceding segment as well: conjugation patterns like
+//! `X · D · X` collapse to a single cheap diagonal even though the greedy
+//! `X · D` intermediate is a dense sweep the gate would refuse.
+//!
+//! Sweep pricing follows the selected [`CostModel`]: the deterministic
+//! [`CostModel::Static`] table (the documented complex-multiply-equivalent
+//! constants, and the default for explicit [`FusionOptions`]), or
+//! [`CostModel::Measured`], which times one representative sweep per kernel
+//! class on this machine at first use — cached thread-locally per register
+//! size, clamped to [0.25, 4]× the static units — so the gate's break-even
+//! points track what the SIMD kernels actually cost here.
+//! [`CompiledCircuit::optimized`](crate::kernels::CompiledCircuit::optimized)
+//! and [`OptLevel::Fuse`](crate::executor::OptLevel) use the measured model
+//! ([`FusionOptions::measured`]).
 //! Everything is plain matrix algebra on supports of at most a handful of
 //! qubits, *independent of the register size*: the pass costs the equivalent
 //! of a few dozen executions at worst (deep circuits collapsing into dense
@@ -61,9 +85,31 @@ use crate::cmatrix::CMatrix;
 use crate::gate::Gate;
 use num_complex::Complex64;
 use serde::Serialize;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 
 const ZERO: Complex64 = Complex64::new(0.0, 0.0);
 const ONE: Complex64 = Complex64::new(1.0, 0.0);
+
+/// How the fusion cost gate prices candidate sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostModel {
+    /// The fixed per-kernel-class unit table (complex-multiply
+    /// equivalents).  Deterministic — the same circuit always fuses the
+    /// same way — and the default for explicitly constructed
+    /// [`FusionOptions`], so tests and reproducible pipelines are not at
+    /// the mercy of machine noise.
+    #[default]
+    Static,
+    /// Units measured on this machine: at first use for a register size,
+    /// one representative sweep per kernel class is timed
+    /// (`CompiledOp::apply_sequential` on a capped-size buffer) and
+    /// normalized so a single-target diagonal multiply is 1 unit.  Results
+    /// are cached thread-locally per register size and clamped to
+    /// [0.25, 4]× the static units, so a noisy timing can shift break-even
+    /// points but never push the gate into pathological territory.
+    Measured,
+}
 
 /// Tuning knobs of the fusion pass.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,6 +136,8 @@ pub struct FusionOptions {
     /// outweighs the saved dispatch.  Nested-target and equal-target fusions
     /// never increase the sweep cost, so they pass at any register size.
     pub op_overhead_cost: usize,
+    /// How candidate fusions are priced (see [`CostModel`]).
+    pub cost_model: CostModel,
 }
 
 impl Default for FusionOptions {
@@ -99,7 +147,165 @@ impl Default for FusionOptions {
             max_diagonal_qubits: 6,
             lookback: 16,
             op_overhead_cost: 512,
+            cost_model: CostModel::Static,
         }
+    }
+}
+
+impl FusionOptions {
+    /// The default options with the [`CostModel::Measured`] cost gate —
+    /// what
+    /// [`CompiledCircuit::optimized`](crate::kernels::CompiledCircuit::optimized)
+    /// and [`OptLevel::Fuse`](crate::executor::OptLevel) use.
+    pub fn measured() -> Self {
+        FusionOptions {
+            cost_model: CostModel::Measured,
+            ..Default::default()
+        }
+    }
+}
+
+/// Resolved per-kernel-class unit costs for the fusion cost gate, in
+/// complex-multiply equivalents: per visited amplitude for the diagonal
+/// classes, per pair for the permutation/single-qubit classes, per
+/// `2^k`-block for the generic classes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CostUnits {
+    /// Phase-shift-class diagonal (unit leading entry, one target).
+    phase: f64,
+    /// Single-target diagonal.
+    diag1: f64,
+    /// Multi-target table diagonal (`DiagonalK`), which pays a bit-gather
+    /// on top of the multiply.
+    diagk: f64,
+    /// X/SWAP permutation pair (no arithmetic, pure data movement).
+    perm: f64,
+    /// Dense single-qubit pair update (4 multiplies).
+    single: f64,
+    /// Generic dense block, `k = 2` (16 multiplies + gather/scatter).
+    generic2: f64,
+    /// Generic dense block, `k = 3` (64 multiplies + gather/scatter).
+    generic3: f64,
+}
+
+/// The documented static table (`CostModel::Static`), matching the kernel
+/// dispatch commentary in [`crate::kernels`].
+const STATIC_UNITS: CostUnits = CostUnits {
+    phase: 1.0,
+    diag1: 1.0,
+    diagk: 2.0,
+    perm: 1.0,
+    single: 4.0,
+    generic2: 32.0,
+    generic3: 128.0,
+};
+
+impl CostUnits {
+    /// Per-block unit of the generic kernel on `k ≥ 2` targets: measured
+    /// for `k ∈ {2, 3}` (the sizes dense fusion actually produces under the
+    /// default cap), extrapolated by the 4×-per-qubit multiply growth above.
+    fn generic(&self, k: usize) -> f64 {
+        match k {
+            0 | 1 => self.single,
+            2 => self.generic2,
+            3 => self.generic3,
+            _ => self.generic3 * 4f64.powi(k as i32 - 3),
+        }
+    }
+}
+
+thread_local! {
+    /// Measured [`CostUnits`] per register size (see [`CostModel::Measured`]).
+    static MEASURED_UNITS: RefCell<HashMap<usize, CostUnits>> = RefCell::new(HashMap::new());
+    /// Calibrations performed by this thread, for cache-contract tests.
+    static CALIBRATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of fusion-cost calibrations performed so far by the calling
+/// thread — at most one per distinct register size under
+/// [`CostModel::Measured`], zero under [`CostModel::Static`].  Mirrors
+/// [`crate::kernels::circuit_compile_count`]: read it around a code region
+/// to verify the calibration cache is doing its job.
+pub fn calibration_count() -> usize {
+    CALIBRATIONS.with(|c| c.get())
+}
+
+fn resolve_units(model: CostModel, num_qubits: usize) -> CostUnits {
+    match model {
+        CostModel::Static => STATIC_UNITS,
+        CostModel::Measured => MEASURED_UNITS.with(|cache| {
+            *cache
+                .borrow_mut()
+                .entry(num_qubits)
+                .or_insert_with(|| calibrate(num_qubits))
+        }),
+    }
+}
+
+/// Time one representative sweep per kernel class and convert to cost
+/// units (single-target diagonal multiply ≡ 1), clamped to the static
+/// envelope.  Runs on a capped `2^clamp(n, 6, 12)` buffer: per-amplitude
+/// kernel costs are insensitive to register size beyond cache-resident
+/// scales, and the cap keeps first-use calibration well under a
+/// millisecond.
+fn calibrate(num_qubits: usize) -> CostUnits {
+    use crate::kernels::CompiledOp;
+    use std::time::Instant;
+    CALIBRATIONS.with(|c| c.set(c.get() + 1));
+    let m = num_qubits.clamp(6, 12);
+    let len = 1usize << m;
+    let mut amps = vec![Complex64::new((len as f64).sqrt().recip(), 0.0); len];
+    let mut scratch: Vec<Complex64> = Vec::new();
+    let bit = m / 2; // mid-register target: representative stride pattern
+    let mut time = |op: Operation| -> f64 {
+        let cop = CompiledOp::compile(&op, m);
+        let mut best = f64::INFINITY;
+        // Best-of-4: the minimum is the least noise-contaminated estimate
+        // of the sweep's intrinsic cost (first pass also warms the buffer).
+        for _ in 0..4 {
+            let t0 = Instant::now();
+            cop.apply_sequential(&mut amps, &mut scratch);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let h = Gate::H.matrix();
+    let hh = h.kron(&h);
+    let hhh = hh.kron(&h);
+    let diag2 = CMatrix::from_fn(4, 4, |r, c| {
+        if r == c {
+            Complex64::from_polar(1.0, 0.3 * r as f64 + 0.1)
+        } else {
+            ZERO
+        }
+    });
+    let t_phase = time(Operation::new(Gate::Phase(0.7), vec![bit], vec![]));
+    let t_diag1 = time(Operation::new(Gate::Rz(0.4), vec![bit], vec![]));
+    let t_diagk = time(Operation::new(Gate::Unitary(diag2), vec![0, bit], vec![]));
+    let t_perm = time(Operation::new(Gate::X, vec![bit], vec![]));
+    let t_single = time(Operation::new(Gate::H, vec![bit], vec![]));
+    let t_g2 = time(Operation::new(Gate::Unitary(hh), vec![0, bit], vec![]));
+    let t_g3 = time(Operation::new(
+        Gate::Unitary(hhh),
+        vec![0, bit, m - 1],
+        vec![],
+    ));
+    // One unit = the measured cost of one single-target diagonal multiply
+    // (the cheapest full sweep), so on a machine where every kernel hits
+    // the static throughput ratios the measured table degenerates to the
+    // static one.
+    let unit = (t_diag1 / len as f64).max(f64::MIN_POSITIVE);
+    let scale = |t: f64, count: usize, stat: f64| -> f64 {
+        (t / count as f64 / unit).clamp(stat * 0.25, stat * 4.0)
+    };
+    CostUnits {
+        phase: scale(t_phase, len / 2, STATIC_UNITS.phase),
+        diag1: scale(t_diag1, len, STATIC_UNITS.diag1),
+        diagk: scale(t_diagk, len, STATIC_UNITS.diagk),
+        perm: scale(t_perm, len / 2, STATIC_UNITS.perm),
+        single: scale(t_single, len / 2, STATIC_UNITS.single),
+        generic2: scale(t_g2, len / 4, STATIC_UNITS.generic2),
+        generic3: scale(t_g3, len / 8, STATIC_UNITS.generic3),
     }
 }
 
@@ -413,14 +619,14 @@ fn try_fuse(first: &Segment, second: &Segment, opts: &FusionOptions) -> Option<S
             pristine: None,
         });
     }
-    // Mismatched control sets: only diagonals fuse, by folding the controls
-    // into the diagonal support (a controlled diagonal is a diagonal).
+    // Mismatched control sets: diagonals fuse by folding the controls into
+    // the diagonal support (a controlled diagonal is a diagonal).
+    let sa = union_sorted(&first.controls, &first.targets);
+    let sb = union_sorted(&second.controls, &second.targets);
     if matches!(first.body, Body::Diag(_)) && matches!(second.body, Body::Diag(_)) {
         // Check the support cap before materializing any 2^k table: heavily
         // controlled diagonals would otherwise allocate huge tables only to
         // be rejected.
-        let sa = union_sorted(&first.controls, &first.targets);
-        let sb = union_sorted(&second.controls, &second.targets);
         if union_sorted(&sa, &sb).len() > opts.max_diagonal_qubits {
             return None;
         }
@@ -437,7 +643,58 @@ fn try_fuse(first: &Segment, second: &Segment, opts: &FusionOptions) -> Option<S
             pristine: None,
         });
     }
-    None
+    // Mask-densifying fusion: dense ops with different control sets fuse by
+    // embedding each as an *uncontrolled* block-diagonal matrix over its
+    // controls ∪ targets (identity wherever its controls are unsatisfied).
+    // Only attempted on overlapping supports — fusing disjoint ops saves
+    // nothing and would block commuting hops (and later cancellations) —
+    // and always within the dense cap, since the fused op trades the cheap
+    // control-subspace enumeration for a full dense sweep.  The caller's
+    // cost gate decides whether that trade pays.
+    if disjoint(&sa, &sb) {
+        return None;
+    }
+    let union = union_sorted(&sa, &sb);
+    if union.len() > opts.max_fused_qubits {
+        return None;
+    }
+    let ma = embed_dense(&controlled_dense(first), &sa, &union);
+    let mb = embed_dense(&controlled_dense(second), &sb, &union);
+    Some(Segment {
+        controls: Vec::new(),
+        targets: union,
+        body: Body::Dense(mb.matmul(&ma)),
+        pristine: None,
+    })
+}
+
+/// A controlled segment re-expressed as an *uncontrolled* dense matrix over
+/// `controls ∪ targets`: the body on the control-satisfied block, the
+/// identity elsewhere.
+fn controlled_dense(seg: &Segment) -> CMatrix {
+    let qubits = union_sorted(&seg.controls, &seg.targets);
+    let cmask: usize = positions(&seg.controls, &qubits)
+        .iter()
+        .map(|&p| 1usize << p)
+        .sum();
+    let tpos = positions(&seg.targets, &qubits);
+    let tmask: usize = tpos.iter().map(|&p| 1usize << p).sum();
+    let m = dense_of(seg);
+    let dim = 1usize << qubits.len();
+    CMatrix::from_fn(dim, dim, |r, c| {
+        if r & cmask != cmask || c & cmask != cmask {
+            // Outside the control-satisfied block the op is the identity.
+            if r == c {
+                ONE
+            } else {
+                ZERO
+            }
+        } else if (r ^ c) & !tmask != 0 {
+            ZERO
+        } else {
+            m[(gather_bits(r, &tpos), gather_bits(c, &tpos))]
+        }
+    })
 }
 
 /// Estimated complex multiplies of one application of this segment to a
@@ -445,32 +702,33 @@ fn try_fuse(first: &Segment, second: &Segment, opts: &FusionOptions) -> Option<S
 /// [`crate::kernels`]: diagonals and permutation gates (X/SWAP) cost one
 /// multiply-equivalent per visited amplitude, dense `k`-target ops cost
 /// `4^k` per `2^k`-block, and controls shrink the visited subspace.
-fn sweep_cost(seg: &Segment, len: usize) -> usize {
+fn sweep_cost(seg: &Segment, len: usize, units: &CostUnits) -> usize {
     let c = seg.controls.len();
-    match &seg.body {
+    let (count, unit) = match &seg.body {
         // Phase-shift-class diagonals (unit leading entry, one target) only
         // touch the target-bit-set half of the subspace; general diagonals
         // visit every control-satisfied amplitude once.  Multi-target tables
         // (the DiagonalK kernel) pay a per-amplitude bit-gather on top of
-        // the multiply, so they are costed at twice the single-bit kernels.
-        Body::Diag(d) if seg.targets.len() == 1 && d[0] == ONE => len >> (c + 1),
-        Body::Diag(_) if seg.targets.len() == 1 => len >> c,
-        Body::Diag(_) => (len >> c).saturating_mul(2),
+        // the multiply.
+        Body::Diag(d) if seg.targets.len() == 1 && d[0] == ONE => (len >> (c + 1), units.phase),
+        Body::Diag(_) if seg.targets.len() == 1 => (len >> c, units.diag1),
+        Body::Diag(_) => (len >> c, units.diagk),
         Body::Dense(_) => {
             let k = seg.targets.len();
             let unit = match seg.pristine.as_ref().map(|op| &op.gate) {
                 // Permutation kernels move amplitudes without arithmetic.
-                Some(Gate::X) | Some(Gate::Swap) => 1,
+                Some(Gate::X) | Some(Gate::Swap) => units.perm,
                 // The generic k ≥ 2 kernel pays a gather/scatter and strided
-                // access on top of its 4^k multiplies, roughly doubling its
-                // per-multiply cost next to the contiguous single-qubit
-                // slice path (measured in `bench_gate_fusion`).
-                _ if k >= 2 => 2 << (2 * k),
-                _ => 4,
+                // access on top of its 4^k multiplies (the static table
+                // prices that at double the contiguous single-qubit path;
+                // the measured model times it directly).
+                _ if k >= 2 => units.generic(k),
+                _ => units.single,
             };
-            ((len >> c) >> k).max(1).saturating_mul(unit)
+            (((len >> c) >> k).max(1), unit)
         }
-    }
+    };
+    (count as f64 * unit).round() as usize
 }
 
 /// True when the two segments are guaranteed to commute: disjoint supports
@@ -514,6 +772,8 @@ pub fn optimize_circuit_for(circuit: &Circuit, num_qubits: usize, opts: &FusionO
         num_qubits
     );
     let len = 1usize << num_qubits;
+    let units = resolve_units(opts.cost_model, num_qubits);
+    let cost = |seg: &Segment| sweep_cost(seg, len, &units);
     let mut out: Vec<Segment> = Vec::new();
     'ops: for op in circuit.operations() {
         let Some(seg) = segment_of(op) else {
@@ -532,12 +792,39 @@ pub fn optimize_circuit_for(circuit: &Circuit, num_qubits: usize, opts: &FusionO
                         // than the two sweeps it replaces (plus the saved
                         // per-op overhead); otherwise keep scanning — a
                         // cheaper partner may sit behind a commuting segment.
-                        let split = sweep_cost(&out[j], len)
-                            .saturating_add(sweep_cost(&seg, len))
+                        let split = cost(&out[j])
+                            .saturating_add(cost(&seg))
                             .saturating_add(opts.op_overhead_cost);
-                        if sweep_cost(&f, len) <= split {
+                        if cost(&f) <= split {
                             out[j] = f;
                             continue 'ops;
+                        }
+                        // Two-op lookahead: the pairwise intermediate is too
+                        // costly, but composing it with the *preceding*
+                        // segment may still collapse — the X·D·X conjugation
+                        // whose greedy X·D intermediate is a dense sweep the
+                        // gate just refused.
+                        if j >= 1 {
+                            if let Some(traw) = try_fuse(&out[j - 1], &f, opts) {
+                                let triple_split = cost(&out[j - 1])
+                                    .saturating_add(cost(&out[j]))
+                                    .saturating_add(cost(&seg))
+                                    .saturating_add(2 * opts.op_overhead_cost);
+                                match simplify(traw) {
+                                    None => {
+                                        // The triple cancelled to the identity.
+                                        out.remove(j);
+                                        out.remove(j - 1);
+                                        continue 'ops;
+                                    }
+                                    Some(t) if cost(&t) <= triple_split => {
+                                        out[j - 1] = t;
+                                        out.remove(j);
+                                        continue 'ops;
+                                    }
+                                    Some(_) => {}
+                                }
+                            }
                         }
                     }
                 }
@@ -607,24 +894,151 @@ mod tests {
     }
 
     #[test]
-    fn matching_control_masks_fuse_mismatched_dense_ops_do_not() {
+    fn matching_control_masks_fuse_mismatched_masks_are_cost_gated() {
         let mut c = Circuit::new(3);
         c.controlled_gate(Gate::X, &[0], &[2])
             .controlled_gate(Gate::Ry(0.4), &[0], &[2])
             .controlled_gate(Gate::H, &[0], &[1]);
+        // Small register: CX/CRy share controls {2} and fuse; the
+        // {1}-controlled H then mask-densifies over {0, 1, 2} — one op.
         let fused = assert_equivalent(&c, &FusionOptions::default());
-        // CX/CRy share controls {2} and fuse; the {1}-controlled H does not.
-        assert_eq!(fused.len(), 2);
-        assert_eq!(fused.operations()[0].controls, vec![2]);
+        assert_eq!(fused.len(), 1);
+        // Large register: mask-densification is cost-rejected, so the
+        // shared-control fusion keeps its cheap subspace enumeration.
+        let large = optimize_circuit_for(&c, 14, &FusionOptions::default());
+        assert_eq!(large.len(), 2);
+        assert_eq!(large.operations()[0].controls, vec![2]);
+    }
+
+    #[test]
+    fn mismatched_controls_densify_only_when_cheap() {
+        // Two controlled dense ops with different control sets and
+        // overlapping supports: block-diagonal embedding over
+        // controls ∪ targets lets them fuse on a small register...
+        let mut c = Circuit::new(3);
+        c.controlled_gate(Gate::X, &[0], &[2])
+            .controlled_gate(Gate::H, &[0], &[1]);
+        let fused = assert_equivalent(&c, &FusionOptions::default());
+        assert_eq!(fused.len(), 1);
+        assert!(fused.operations()[0].controls.is_empty());
+        // ...while on a large register the densified full sweep costs more
+        // than the two control-subspace sweeps and must be rejected.
+        let large = optimize_circuit_for(&c, 14, &FusionOptions::default());
+        assert_eq!(large.len(), 2);
+        // Disjoint supports never mask-densify (it would save nothing and
+        // block commuting hops).
+        let mut d = Circuit::new(4);
+        d.controlled_gate(Gate::X, &[0], &[1])
+            .controlled_gate(Gate::X, &[2], &[3]);
+        let kept = assert_equivalent(&d, &FusionOptions::default());
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn x_conjugation_fuses_through_the_lookahead_on_large_registers() {
+        // On a large register the greedy X·D intermediate is a dense pair
+        // sweep the cost gate refuses (X + phase are cheaper apart), but
+        // the full X·D·X conjugation is one cheap diagonal: the two-op
+        // lookahead must land it.
+        let mut c = Circuit::new(14);
+        c.x(1).phase(1, 0.8).x(1);
+        let fused = optimize_circuit(&c, &FusionOptions::default());
+        assert_eq!(fused.len(), 1, "X·P·X must collapse to one diagonal");
+        match &fused.operations()[0].gate {
+            Gate::Unitary(m) => assert!(m.diagonal().is_some(), "fusion result must be diagonal"),
+            g => panic!("expected a fused unitary, found {g:?}"),
+        }
+        // Degenerate conjugations still vanish completely (the zero phase
+        // drops as an identity, then the X pair cancels).
+        let mut cancel = Circuit::new(14);
+        cancel.x(3).phase(3, 0.0).x(3);
+        assert!(optimize_circuit(&cancel, &FusionOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn measured_model_calibrates_once_per_register_size() {
+        let mut c = Circuit::new(5);
+        c.h(0).rz(0, 0.4).cx(0, 1).x(2).phase(2, 1.1).x(2);
+        let opts = FusionOptions::measured();
+        let before = calibration_count();
+        let first = optimize_circuit(&c, &opts);
+        assert_eq!(
+            calibration_count(),
+            before + 1,
+            "first measured-model run calibrates this register size"
+        );
+        let second = optimize_circuit(&c, &opts);
+        assert_eq!(
+            calibration_count(),
+            before + 1,
+            "second run must reuse the thread-local cache"
+        );
+        assert_eq!(first.len(), second.len(), "cached units → same decisions");
+        // Static pricing never calibrates.
+        optimize_circuit(&c, &FusionOptions::default());
+        assert_eq!(calibration_count(), before + 1);
+        // And the measured-model output is still the same unitary.
+        assert_equivalent(&c, &opts);
+    }
+
+    #[test]
+    fn measured_units_stay_within_the_static_envelope() {
+        let u = calibrate(10);
+        let s = STATIC_UNITS;
+        for (name, measured, stat) in [
+            ("phase", u.phase, s.phase),
+            ("diag1", u.diag1, s.diag1),
+            ("diagk", u.diagk, s.diagk),
+            ("perm", u.perm, s.perm),
+            ("single", u.single, s.single),
+            ("generic2", u.generic2, s.generic2),
+            ("generic3", u.generic3, s.generic3),
+        ] {
+            assert!(
+                measured >= stat * 0.25 && measured <= stat * 4.0,
+                "{name} unit {measured} escaped the [0.25, 4]x clamp of {stat}"
+            );
+        }
+        // The generic extrapolation grows 4x per extra target qubit.
+        assert!((u.generic(4) - u.generic3 * 4.0).abs() < 1e-12);
+        assert!((STATIC_UNITS.generic(5) - (2u64 << 10) as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_model_defaults() {
+        assert_eq!(FusionOptions::default().cost_model, CostModel::Static);
+        assert_eq!(FusionOptions::measured().cost_model, CostModel::Measured);
+        assert_eq!(CostModel::default(), CostModel::Static);
     }
 
     #[test]
     fn commuting_gates_are_hopped_over() {
-        let mut c = Circuit::new(4);
-        c.ry(0, 0.3).h(2).cx(2, 3).ry(0, -0.3);
-        let fused = assert_equivalent(&c, &FusionOptions::default());
-        // The two Ry(±0.3) cancel through the disjoint h/cx in between.
-        assert_eq!(fused.len(), 2);
+        let build = |n: usize| {
+            let mut c = Circuit::new(n);
+            c.ry(0, 0.3).h(2).cx(2, 3).ry(0, -0.3);
+            c
+        };
+        // Equivalence on the small register, where densification is cheap
+        // enough that the pass may collapse everything.
+        assert_equivalent(&build(4), &FusionOptions::default());
+        // On a large register densification is cost-rejected, so the second
+        // Ry must hop backwards over the disjoint h/cx to merge with the
+        // first.  Ry(θ)·Ry(−θ) is an identity only up to roundoff (its
+        // diagonal is cos² + sin²), so the merged pair survives as one
+        // dense single-qubit op: 4 raw ops become 3.
+        let fused = optimize_circuit(&build(14), &FusionOptions::default());
+        assert_eq!(fused.len(), 3);
+        let on_q0 = fused
+            .operations()
+            .iter()
+            .filter(|op| op.targets == [0])
+            .count();
+        assert_eq!(on_q0, 1, "the hopped Ry pair must merge into one op");
+        // An exactly self-inverse pair (X·X = I in floats) cancels outright
+        // after the same backwards hop.
+        let mut exact = Circuit::new(14);
+        exact.x(0).h(2).cx(2, 3).x(0);
+        assert_eq!(optimize_circuit(&exact, &FusionOptions::default()).len(), 2);
     }
 
     #[test]

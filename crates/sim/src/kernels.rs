@@ -52,6 +52,7 @@
 
 use crate::circuit::{Circuit, Operation};
 use crate::gate::Gate;
+use crate::simd;
 use crate::state::StateVector;
 use num_complex::Complex64;
 use rayon::prelude::*;
@@ -172,8 +173,13 @@ enum Kernel {
     },
     /// Dense `2^k × 2^k` unitary on `k` target bits.
     Generic {
-        /// Row-major flattened gate matrix.
+        /// Row-major flattened gate matrix (the scalar kernel's layout).
         flat: Vec<Complex64>,
+        /// Column-major real plane of the matrix (`col_re[c·dim + r]`), for
+        /// the SIMD subspace matvec of [`crate::simd`].
+        col_re: Vec<f64>,
+        /// Column-major imaginary plane (same layout as `col_re`).
+        col_im: Vec<f64>,
         /// `offsets[j]` = OR of the target-bit masks selected by sub-index `j`
         /// (target order gives bit significance, matching `Gate::matrix()`).
         offsets: Vec<usize>,
@@ -334,6 +340,12 @@ impl CompiledOp {
                         let flat: Vec<Complex64> = (0..dim)
                             .flat_map(|r| (0..dim).map(move |c| m[(r, c)]))
                             .collect();
+                        let col_re: Vec<f64> = (0..dim)
+                            .flat_map(|c| (0..dim).map(move |r| m[(r, c)].re))
+                            .collect();
+                        let col_im: Vec<f64> = (0..dim)
+                            .flat_map(|c| (0..dim).map(move |r| m[(r, c)].im))
+                            .collect();
                         let offsets: Vec<usize> = (0..dim)
                             .map(|j| {
                                 op.targets
@@ -346,7 +358,13 @@ impl CompiledOp {
                             .collect();
                         (
                             sorted_with(&op.targets),
-                            Kernel::Generic { flat, offsets, dim },
+                            Kernel::Generic {
+                                flat,
+                                col_re,
+                                col_im,
+                                offsets,
+                                dim,
+                            },
                         )
                     }
                 }
@@ -426,6 +444,10 @@ impl CompiledOp {
             Kernel::SingleQubit { bit, m } => {
                 let (bitmask, m) = (1usize << bit, *m);
                 if cm == 0 && sequential {
+                    if simd::active() {
+                        simd::single_qubit(amps, *bit, &m);
+                        return;
+                    }
                     for block in amps.chunks_exact_mut(2 * bitmask) {
                         let (lo, hi) = block.split_at_mut(bitmask);
                         for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
@@ -433,6 +455,22 @@ impl CompiledOp {
                             *a0 = m[0] * x0 + m[1] * x1;
                             *a1 = m[2] * x0 + m[3] * x1;
                         }
+                    }
+                    return;
+                }
+                // Controlled run path: bits below the lowest fixed bit pass
+                // through `expand` untouched, so each step of `run` free
+                // indices is a contiguous amplitude run whose pair run lives
+                // `bitmask` above — two slice sweeps instead of per-index
+                // bit expansion.  Same per-pair arithmetic, bit-identical.
+                if sequential && simd::active() && fixed[0] >= 1 {
+                    let run = 1usize << fixed[0];
+                    let mut p = 0;
+                    while p < count {
+                        let base = expand(p, fixed) | cm;
+                        let (lo, hi) = amps.split_at_mut(base | bitmask);
+                        simd::single_qubit_runs(&mut lo[base..base + run], &mut hi[..run], &m);
+                        p += run;
                     }
                     return;
                 }
@@ -452,6 +490,10 @@ impl CompiledOp {
             Kernel::Diagonal { bit, phases } => {
                 let (bit, phases) = (*bit, *phases);
                 if cm == 0 && sequential {
+                    // Like `PhaseShift`, the uncontrolled diagonal sweep is
+                    // two contiguous scale loops LLVM already vectorizes at
+                    // full width — the explicit `simd::diagonal` body
+                    // measured no faster, so the scalar loop stays.
                     let stride = 1usize << bit;
                     for block in amps.chunks_exact_mut(2 * stride) {
                         let (lo, hi) = block.split_at_mut(stride);
@@ -461,6 +503,25 @@ impl CompiledOp {
                         for a in hi {
                             *a *= phases[1];
                         }
+                    }
+                    return;
+                }
+                // Controlled run path (see `SingleQubit`): the target bit is
+                // free, so within a contiguous run the phase either follows
+                // the uncontrolled diagonal pattern (`bit` below the run
+                // width) or is constant (`bit` above it).
+                if sequential && simd::active() && !fixed.is_empty() && fixed[0] >= 1 {
+                    let run = 1usize << fixed[0];
+                    let mut p = 0;
+                    while p < count {
+                        let start = expand(p, fixed) | cm;
+                        let chunk = &mut amps[start..start + run];
+                        if bit < fixed[0] {
+                            simd::diagonal(chunk, bit, &phases);
+                        } else {
+                            simd::scale_run(chunk, phases[(start >> bit) & 1]);
+                        }
+                        p += run;
                     }
                     return;
                 }
@@ -476,10 +537,28 @@ impl CompiledOp {
             Kernel::PhaseShift { bit, phase } => {
                 let (bitmask, phase) = (1usize << bit, *phase);
                 if cm == 0 && sequential {
+                    // No explicit SIMD body here: this contiguous
+                    // multiply-the-hi-half loop is exactly the shape LLVM
+                    // auto-vectorizes, and the measured `simd::phase_shift`
+                    // variant was *slower* (see `simd.rs` module docs) — the
+                    // dispatcher keeps whichever body wins.
                     for block in amps.chunks_exact_mut(2 * bitmask) {
                         for a in &mut block[bitmask..] {
                             *a *= phase;
                         }
+                    }
+                    return;
+                }
+                // Controlled run path (see `SingleQubit`).  No bit-0 caveat
+                // here: every amplitude of a run is multiplied (no identity
+                // lanes), the same arithmetic as the scalar expand loop.
+                if sequential && simd::active() && fixed[0] >= 1 {
+                    let run = 1usize << fixed[0];
+                    let mut p = 0;
+                    while p < count {
+                        let start = expand(p, fixed) | cm | bitmask;
+                        simd::scale_run(&mut amps[start..start + run], phase);
+                        p += run;
                     }
                     return;
                 }
@@ -497,6 +576,21 @@ impl CompiledOp {
                     for block in amps.chunks_exact_mut(2 * bitmask) {
                         let (lo, hi) = block.split_at_mut(bitmask);
                         lo.swap_with_slice(hi);
+                    }
+                    return;
+                }
+                // Controlled run path (see `SingleQubit`): swap whole
+                // contiguous runs at memcpy speed — a pure permutation, so
+                // gating it on the SIMD toggle only changes speed, and the
+                // scalar expand loop below stays the oracle.
+                if sequential && simd::active() && fixed[0] >= 1 {
+                    let run = 1usize << fixed[0];
+                    let mut p = 0;
+                    while p < count {
+                        let base = expand(p, fixed) | cm;
+                        let (lo, hi) = amps.split_at_mut(base | bitmask);
+                        lo[base..base + run].swap_with_slice(&mut hi[..run]);
+                        p += run;
                     }
                     return;
                 }
@@ -519,6 +613,10 @@ impl CompiledOp {
                         .fold(0usize, |acc, (t, &b)| acc | (((i >> b) & 1) << t))
                 };
                 if cm == 0 && sequential {
+                    if simd::active() {
+                        simd::diagonal_k(amps, bits, table);
+                        return;
+                    }
                     for (i, a) in amps.iter_mut().enumerate() {
                         *a *= table[gather(i)];
                     }
@@ -535,6 +633,24 @@ impl CompiledOp {
             }
             Kernel::SwapBits { bit_a, bit_b } => {
                 let (ma, mb) = (1usize << bit_a, 1usize << bit_b);
+                // Run path (see `Flip`): both target bits are fixed, so the
+                // swapped pair of each step is a pair of disjoint contiguous
+                // runs — exchanged at memcpy speed.  A pure permutation, so
+                // gating it on the SIMD toggle only changes speed and the
+                // expand loop below stays the oracle.
+                if sequential && simd::active() && fixed[0] >= 1 {
+                    let run = 1usize << fixed[0];
+                    let mut p = 0;
+                    while p < count {
+                        let base = expand(p, fixed) | cm;
+                        let (ia, ib) = (base | ma, base | mb);
+                        let (lo_i, hi_i) = (ia.min(ib), ia.max(ib));
+                        let (lo, hi) = amps.split_at_mut(hi_i);
+                        lo[lo_i..lo_i + run].swap_with_slice(&mut hi[..run]);
+                        p += run;
+                    }
+                    return;
+                }
                 for_each_free(count, parallel, |p| {
                     // SAFETY: both target bits are fixed during expansion, so
                     // each `p` owns the disjoint pair (base|a, base|b).
@@ -547,9 +663,19 @@ impl CompiledOp {
                     }
                 });
             }
-            Kernel::Generic { flat, offsets, dim } => {
+            Kernel::Generic {
+                flat,
+                col_re,
+                col_im,
+                offsets,
+                dim,
+            } => {
                 let dim = *dim;
-                let block = |scratch: &mut Vec<Complex64>, p: usize| {
+                // The SIMD subspace matvec works for controlled ops too (the
+                // gather/scatter around it is index arithmetic either way),
+                // so it is gated only on the thread-local toggle.
+                let use_simd = simd::active();
+                let block = |scratch: &mut Vec<Complex64>, out: &mut Vec<Complex64>, p: usize| {
                     scratch.resize(dim, ZERO);
                     // SAFETY: all indices of one block share the same `base`
                     // and differ only in the fixed target bits, so blocks of
@@ -559,23 +685,33 @@ impl CompiledOp {
                         for (s, &off) in scratch.iter_mut().zip(offsets) {
                             *s = ptr.get(base | off);
                         }
-                        for (r, &off) in offsets.iter().enumerate() {
-                            let row = &flat[r * dim..(r + 1) * dim];
-                            let mut acc = ZERO;
-                            for (mrc, s) in row.iter().zip(scratch.iter()) {
-                                acc += mrc * s;
+                        if use_simd {
+                            out.resize(dim, ZERO);
+                            simd::generic_matvec(col_re, col_im, dim, scratch, out);
+                            for (o, &off) in out.iter().zip(offsets) {
+                                ptr.set(base | off, *o);
                             }
-                            ptr.set(base | off, acc);
+                        } else {
+                            for (r, &off) in offsets.iter().enumerate() {
+                                let row = &flat[r * dim..(r + 1) * dim];
+                                let mut acc = ZERO;
+                                for (mrc, s) in row.iter().zip(scratch.iter()) {
+                                    acc += mrc * s;
+                                }
+                                ptr.set(base | off, acc);
+                            }
                         }
                     }
                 };
                 if parallel {
-                    (0..count)
-                        .into_par_iter()
-                        .for_each_init(|| vec![ZERO; dim], |s, p| block(s, p));
+                    (0..count).into_par_iter().for_each_init(
+                        || (vec![ZERO; dim], vec![ZERO; dim]),
+                        |(s, o), p| block(s, o, p),
+                    );
                 } else {
+                    let mut out_buf = Vec::new();
                     for p in 0..count {
-                        block(scratch, p);
+                        block(scratch, &mut out_buf, p);
                     }
                 }
             }
@@ -634,9 +770,12 @@ impl CompiledCircuit {
     }
 
     /// Run the optimizer pass of [`crate::fuse`] (gate fusion + diagonal
-    /// merging, default [`FusionOptions`](crate::fuse::FusionOptions)) and
-    /// compile the rewritten circuit — one compilation, observable through
-    /// [`circuit_compile_count`] exactly like [`CompiledCircuit::compile`].
+    /// merging) with the measured cost model
+    /// ([`FusionOptions::measured`](crate::fuse::FusionOptions::measured):
+    /// per-kernel-class sweep costs calibrated on this machine at first use
+    /// per register size) and compile the rewritten circuit — one
+    /// compilation, observable through [`circuit_compile_count`] exactly
+    /// like [`CompiledCircuit::compile`].
     ///
     /// The optimized form implements the same unitary to ≲ 1e-13 (fused ops
     /// are floating-point matrix products); [`CompiledCircuit::compile`] on
@@ -645,7 +784,7 @@ impl CompiledCircuit {
         Self::optimized_with(
             circuit,
             circuit.num_qubits(),
-            &crate::fuse::FusionOptions::default(),
+            &crate::fuse::FusionOptions::measured(),
         )
         .0
     }
@@ -1137,7 +1276,13 @@ mod tests {
         assert_eq!(stats.raw_ops, circ.len());
         assert_eq!(stats.fused_ops, optimized.len());
         assert!(stats.fused_ops < stats.raw_ops);
-        assert!(stats.fused_sweep_work <= stats.raw_sweep_work);
+        // Mask-densifying fusion may trade sweep work for fewer dispatches
+        // on tiny registers; the optimizer's acceptance gate bounds the
+        // trade by the per-op overhead it saves.
+        assert!(
+            stats.fused_sweep_work
+                <= stats.raw_sweep_work + (stats.raw_ops - stats.fused_ops) * 512
+        );
         for col in 0..8 {
             let mut a = StateVector::basis_state(3, col);
             optimized.apply(&mut a);

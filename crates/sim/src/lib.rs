@@ -101,6 +101,7 @@ pub mod gate;
 pub mod kernels;
 pub mod measure;
 pub mod resources;
+pub mod simd;
 pub mod state;
 pub mod unitary;
 
@@ -111,12 +112,13 @@ pub use fault::{
     FaultError, FaultEvent, FaultInjector, FaultPlan, SharedFaultInjector, TransientFault,
     TransientKind,
 };
-pub use fuse::{optimize_circuit, CircuitStats, FusionOptions};
+pub use fuse::{calibration_count, optimize_circuit, CircuitStats, CostModel, FusionOptions};
 pub use gate::Gate;
 pub use kernels::{circuit_compile_count, CompiledCircuit, CompiledOp, PARALLEL_WORK_THRESHOLD};
 pub use measure::{
     estimate_magnitudes, sample, shots_for_accuracy, signed_from_magnitudes, SampleResult,
 };
 pub use resources::{estimate_resources, fusion_stats, ResourceEstimate, TCountModel};
+pub use simd::{simd_kernels_enabled, with_scalar_kernels};
 pub use state::StateVector;
 pub use unitary::{apply_circuit_to_vector, circuit_unitary};

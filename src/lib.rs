@@ -28,6 +28,27 @@
 //!   execution engine (`qls_sim::QuantumExecutor`: optimize + compile a
 //!   circuit exactly once, `run` it many times, `run_batch` it across many
 //!   registers with coarse-grained thread fan-out);
+//!
+//! ## Performance model: SIMD kernels + measured-cost fusion
+//!
+//! The hot loops — statevector gate sweeps (`qls_sim::simd`), CSR SpMV and
+//! dense matvec/matmul (`qls_linalg::simd`) — are vectorized with the
+//! `vendor/wide` `f64x4` stand-in (runtime `avx2,fma` dispatch on x86-64,
+//! scalar fallback elsewhere).  The convention throughout: **one output
+//! element per lane, accumulated in the scalar kernel's exact operation
+//! order**, so every SIMD kernel is *bit-identical* to its retained scalar
+//! oracle — toggle with `qls_sim::with_scalar_kernels` (statevector) or
+//! call the `_scalar` twins (`matvec_scalar`/`matmul_scalar`) directly;
+//! remainders that don't fill a lane group fall back to the same scalar
+//! loops.  The fusion optimizer prices candidate fusions with a
+//! **micro-calibrated cost model** (`qls_sim::CostModel::Measured`, the
+//! `OptLevel::Fuse` default): at first optimize for a register size it
+//! times one representative sweep per kernel class, caches the normalized
+//! units thread-locally keyed by qubit count (`qls_sim::calibration_count`
+//! audits the cache), and uses them to decide two-op lookahead (X·D·X
+//! conjugations collapse to one diagonal) and mask-densifying fusion of
+//! controlled ops with different control sets.  `CostModel::Static` keeps
+//! the deterministic table for reproducible tests.
 //! * [`encoding`] (`qls-encoding`) — state preparation and block-encodings;
 //! * [`qsvt`] (`qls-qsvt`) — QSP phases, QSVT circuits, matrix inversion
 //!   (compile-once: `QsvtInverter` compiles its circuit in `new` and offers
@@ -141,8 +162,9 @@ pub mod prelude {
     pub use qls_poly::{ChebyshevSeries, InversePolynomial};
     pub use qls_qsvt::{QsvtInverter, QsvtMode};
     pub use qls_sim::{
-        estimate_resources, fusion_stats, Circuit, CircuitStats, FaultInjector, FaultPlan,
-        FusionOptions, Gate, OptLevel, QuantumExecutor, StateVector, TCountModel, TransientKind,
+        calibration_count, estimate_resources, fusion_stats, with_scalar_kernels, Circuit,
+        CircuitStats, CostModel, FaultInjector, FaultPlan, FusionOptions, Gate, OptLevel,
+        QuantumExecutor, StateVector, TCountModel, TransientKind,
     };
 
     pub use rand::SeedableRng;

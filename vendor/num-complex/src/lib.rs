@@ -8,7 +8,12 @@ use core::iter::{Product, Sum};
 use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number `re + im·i`.
+///
+/// `repr(C)` as in the real crate, so a `[Complex<f64>]` slice may be
+/// reinterpreted as interleaved `[re, im, re, im, ...]` scalars (the SIMD
+/// statevector kernels in `qls-sim` rely on this).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[repr(C)]
 pub struct Complex<T> {
     pub re: T,
     pub im: T,

@@ -1,0 +1,262 @@
+//! Offline stand-in for the [`wide`](https://crates.io/crates/wide) crate.
+//!
+//! Implements exactly the API subset this workspace uses: a fixed-width
+//! [`f64x4`] vector with element-wise arithmetic, lane-wise fused
+//! multiply-add, and a cached runtime check for the AVX2+FMA instruction
+//! set.  Everything is written in portable stable Rust — no `std::simd`,
+//! no mandatory intrinsics — so every target builds:
+//!
+//! * The lane operations are explicit four-element expressions on an
+//!   `align(32)` array.  LLVM's superword-level parallelism pass reliably
+//!   turns them into packed SSE2 instructions on the x86-64 baseline and
+//!   into single 256-bit instructions when the surrounding function is
+//!   compiled with `#[target_feature(enable = "avx2,fma")]` (the kernel
+//!   crates multiversion their hot loops this way and dispatch through
+//!   [`runtime::avx2_fma_available`]).
+//! * On non-x86 targets the same code compiles to whatever vector ISA the
+//!   backend offers, or to scalar code — the API (and the results, which
+//!   are lane-wise IEEE operations in a fixed order) is identical.
+//!
+//! **Numerical contract:** every operation is element-wise; there are no
+//! horizontal reductions hidden inside the type, so using lane `l` of an
+//! `f64x4` computes bit-for-bit what the same sequence of scalar `f64`
+//! operations would.  [`f64x4::mul_add`] is a *fused* per-lane operation
+//! (one rounding), matching scalar `f64::mul_add` exactly.  The only
+//! reassociating helper is [`f64x4::reduce_add`], whose summation order is
+//! documented and fixed.
+
+#![allow(non_camel_case_types)] // matching the real crate's type names
+
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Four `f64` lanes, 32-byte aligned.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C, align(32))]
+pub struct f64x4(pub [f64; 4]);
+
+impl f64x4 {
+    /// Number of lanes.
+    pub const LANES: usize = 4;
+
+    /// All-zero vector.
+    pub const ZERO: Self = Self([0.0; 4]);
+
+    /// Build from an array (lane `l` = `a[l]`).
+    #[inline(always)]
+    pub const fn new(a: [f64; 4]) -> Self {
+        Self(a)
+    }
+
+    /// Broadcast one value into every lane.
+    #[inline(always)]
+    pub const fn splat(v: f64) -> Self {
+        Self([v; 4])
+    }
+
+    /// Load four consecutive values from a slice (panics if `s.len() < 4`).
+    #[inline(always)]
+    pub fn from_slice(s: &[f64]) -> Self {
+        Self([s[0], s[1], s[2], s[3]])
+    }
+
+    /// Store the four lanes into the first four elements of a slice.
+    #[inline(always)]
+    pub fn write_to_slice(self, s: &mut [f64]) {
+        s[..4].copy_from_slice(&self.0);
+    }
+
+    /// The lanes as an array.
+    #[inline(always)]
+    pub const fn to_array(self) -> [f64; 4] {
+        self.0
+    }
+
+    /// Borrow the lanes as an array.
+    #[inline(always)]
+    pub const fn as_array_ref(&self) -> &[f64; 4] {
+        &self.0
+    }
+
+    /// Lane-wise **fused** multiply-add `self * a + b` (one rounding per
+    /// lane, exactly like scalar `f64::mul_add`).  Inside an
+    /// `avx2,fma`-enabled function this compiles to one `vfmadd` —
+    /// elsewhere it falls back to the (correct, slower) libm `fma`, which
+    /// is why the kernel crates multiversion their loops.
+    #[inline(always)]
+    pub fn mul_add(self, a: Self, b: Self) -> Self {
+        Self([
+            self.0[0].mul_add(a.0[0], b.0[0]),
+            self.0[1].mul_add(a.0[1], b.0[1]),
+            self.0[2].mul_add(a.0[2], b.0[2]),
+            self.0[3].mul_add(a.0[3], b.0[3]),
+        ])
+    }
+
+    /// Swap the two lanes of each 128-bit pair: `[l1, l0, l3, l2]`.
+    ///
+    /// With lanes holding interleaved complex numbers `[re0, im0, re1, im1]`
+    /// this exchanges each number's real and imaginary parts (one
+    /// `vpermilpd` under AVX).
+    #[inline(always)]
+    pub fn swap_adjacent(self) -> Self {
+        Self([self.0[1], self.0[0], self.0[3], self.0[2]])
+    }
+
+    /// Broadcast the low 128-bit pair: `[l0, l1, l0, l1]`.
+    #[inline(always)]
+    pub fn dup_low_pair(self) -> Self {
+        Self([self.0[0], self.0[1], self.0[0], self.0[1]])
+    }
+
+    /// Broadcast the high 128-bit pair: `[l2, l3, l2, l3]`.
+    #[inline(always)]
+    pub fn dup_high_pair(self) -> Self {
+        Self([self.0[2], self.0[3], self.0[2], self.0[3]])
+    }
+
+    /// Horizontal sum in the fixed order `(l0 + l1) + (l2 + l3)`.
+    ///
+    /// This is the one reassociating operation of the type: callers that
+    /// need bit-identity with a sequential scalar loop must not use it on
+    /// partial sums of that loop (the kernel crates assign one *output*
+    /// element per lane instead — see their lane-convention docs).
+    #[inline(always)]
+    pub fn reduce_add(self) -> f64 {
+        (self.0[0] + self.0[1]) + (self.0[2] + self.0[3])
+    }
+}
+
+macro_rules! lanewise_binop {
+    ($trait:ident, $method:ident, $op:tt, $assign_trait:ident, $assign_method:ident) => {
+        impl $trait for f64x4 {
+            type Output = f64x4;
+            #[inline(always)]
+            fn $method(self, rhs: f64x4) -> f64x4 {
+                f64x4([
+                    self.0[0] $op rhs.0[0],
+                    self.0[1] $op rhs.0[1],
+                    self.0[2] $op rhs.0[2],
+                    self.0[3] $op rhs.0[3],
+                ])
+            }
+        }
+
+        impl $assign_trait for f64x4 {
+            #[inline(always)]
+            fn $assign_method(&mut self, rhs: f64x4) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+lanewise_binop!(Add, add, +, AddAssign, add_assign);
+lanewise_binop!(Sub, sub, -, SubAssign, sub_assign);
+lanewise_binop!(Mul, mul, *, MulAssign, mul_assign);
+
+impl Neg for f64x4 {
+    type Output = f64x4;
+    #[inline(always)]
+    fn neg(self) -> f64x4 {
+        f64x4([-self.0[0], -self.0[1], -self.0[2], -self.0[3]])
+    }
+}
+
+/// Runtime CPU-feature detection for the multiversioned kernels.
+pub mod runtime {
+    /// True when the running CPU supports AVX2 *and* FMA (checked once,
+    /// cached).  The kernel crates use this to dispatch into
+    /// `#[target_feature(enable = "avx2,fma")]` clones of their hot loops;
+    /// when it is false (older x86-64, or any non-x86 target) the same
+    /// loops run through the baseline compilation — identical results,
+    /// portable everywhere.
+    #[inline]
+    pub fn avx2_fma_available() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::sync::atomic::{AtomicU8, Ordering};
+            static CACHED: AtomicU8 = AtomicU8::new(0); // 0 unknown, 1 no, 2 yes
+            match CACHED.load(Ordering::Relaxed) {
+                2 => true,
+                1 => false,
+                _ => {
+                    let yes = std::is_x86_feature_detected!("avx2")
+                        && std::is_x86_feature_detected!("fma");
+                    CACHED.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+                    yes
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanewise_arithmetic() {
+        let a = f64x4::new([1.0, 2.0, 3.0, 4.0]);
+        let b = f64x4::splat(0.5);
+        assert_eq!((a + b).to_array(), [1.5, 2.5, 3.5, 4.5]);
+        assert_eq!((a - b).to_array(), [0.5, 1.5, 2.5, 3.5]);
+        assert_eq!((a * b).to_array(), [0.5, 1.0, 1.5, 2.0]);
+        assert_eq!((-a).to_array(), [-1.0, -2.0, -3.0, -4.0]);
+        let mut c = a;
+        c += b;
+        c -= b;
+        c *= f64x4::splat(2.0);
+        assert_eq!(c.to_array(), [2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn mul_add_is_fused_per_lane() {
+        // Pick operands where fused and unfused results differ: for
+        // x = 1 + 2⁻³⁰, x² − 1 is exactly 2⁻²⁹ + 2⁻⁶⁰ (fused keeps the low
+        // bit; the separately-rounded product drops it).  The scalar oracle
+        // is f64::mul_add, and every lane must match it exactly.
+        let x = 1.0 + (-30f64).exp2();
+        let a = f64x4::splat(x);
+        let prod = a.mul_add(a, f64x4::splat(-1.0));
+        for lane in prod.to_array() {
+            assert_eq!(lane, x.mul_add(x, -1.0));
+            assert_ne!(lane, x * x - 1.0, "operands chosen to expose fusion");
+        }
+    }
+
+    #[test]
+    fn reduce_add_order_is_documented_pairwise() {
+        let v = f64x4::new([1e16, 1.0, -1e16, 1.0]);
+        // (1e16 + 1) + (-1e16 + 1) = 1e16 + (-1e16 + 1) = 1.0 + ... — fixed
+        // pairwise order, not sequential.
+        assert_eq!(v.reduce_add(), (1e16 + 1.0) + (-1e16 + 1.0));
+    }
+
+    #[test]
+    fn pair_shuffles() {
+        let v = f64x4::new([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.swap_adjacent().to_array(), [2.0, 1.0, 4.0, 3.0]);
+        assert_eq!(v.dup_low_pair().to_array(), [1.0, 2.0, 1.0, 2.0]);
+        assert_eq!(v.dup_high_pair().to_array(), [3.0, 4.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let s = [9.0, 8.0, 7.0, 6.0, 5.0];
+        let v = f64x4::from_slice(&s);
+        let mut out = [0.0; 5];
+        v.write_to_slice(&mut out);
+        assert_eq!(&out[..4], &s[..4]);
+        assert_eq!(out[4], 0.0);
+    }
+
+    #[test]
+    fn runtime_detection_is_stable() {
+        let first = runtime::avx2_fma_available();
+        assert_eq!(first, runtime::avx2_fma_available());
+    }
+}
