@@ -26,8 +26,8 @@ use qls_linalg::{Matrix, Svd, Vector};
 use qls_poly::InversePolynomial;
 use qls_sim::fault::{lock_injector, FaultError, SharedFaultInjector};
 use qls_sim::{
-    estimate_resources, CircuitStats, OptLevel, QuantumExecutor, ResourceEstimate, StateVector,
-    TCountModel,
+    estimate_resources, CircuitStats, ExecMode, OptLevel, QuantumExecutor, ResourceEstimate,
+    StateVector, TCountModel,
 };
 use serde::Serialize;
 
@@ -164,6 +164,22 @@ impl QsvtInverter {
         mode: QsvtMode,
         opt_level: OptLevel,
     ) -> Result<Self, QsvtError> {
+        Self::with_exec_mode(a, epsilon_l, mode, opt_level, ExecMode::Flat)
+    }
+
+    /// [`QsvtInverter::with_opt_level`] at an explicit [`ExecMode`]:
+    /// `ExecMode::Sharded` compiles the QSVT circuit into the sharded
+    /// register engine (`qls_sim::shard`) with fusion biased toward
+    /// low-qubit support, so every solve executes via per-shard sweeps and
+    /// pairwise exchanges.  Only meaningful in circuit mode; emulation mode
+    /// has no register to shard.
+    pub fn with_exec_mode(
+        a: &Matrix<f64>,
+        epsilon_l: f64,
+        mode: QsvtMode,
+        opt_level: OptLevel,
+        exec_mode: ExecMode,
+    ) -> Result<Self, QsvtError> {
         assert!(a.is_square(), "QSVT inversion needs a square matrix");
         assert!(
             epsilon_l > 0.0 && epsilon_l < 1.0,
@@ -193,7 +209,7 @@ impl QsvtInverter {
             let qsvt = QsvtCircuit::with_real_part_extraction(&be, &phases.phases);
             // Optimize + compile exactly once; every solve_direction call
             // (single or batched) reuses this compiled artefact.
-            let executor = QuantumExecutor::with_options(qsvt.circuit(), opt_level);
+            let executor = QuantumExecutor::with_exec_mode(qsvt.circuit(), opt_level, exec_mode);
             let n = qsvt.num_data_qubits();
             let total = n + qsvt.num_ancilla_qubits();
             Some(CircuitArtefacts {
@@ -293,6 +309,12 @@ impl QsvtInverter {
     /// and estimated sweep work.
     pub fn circuit_stats(&self) -> Option<&CircuitStats> {
         self.circuit.as_ref().and_then(|art| art.executor.stats())
+    }
+
+    /// The execution mode of the compiled QSVT engine (`None` in emulation
+    /// mode, which has no register).
+    pub fn exec_mode(&self) -> Option<ExecMode> {
+        self.circuit.as_ref().map(|art| art.executor.exec_mode())
     }
 
     /// Resource accounting for one solve.

@@ -44,6 +44,7 @@ use crate::circuit::Circuit;
 use crate::fault::{lock_injector, FaultError, SharedFaultInjector};
 use crate::fuse::{CircuitStats, FusionOptions};
 use crate::kernels::{CompiledCircuit, PARALLEL_WORK_THRESHOLD};
+use crate::shard::{ShardedCircuit, ShardedState};
 use crate::state::StateVector;
 use rayon::prelude::*;
 
@@ -62,10 +63,35 @@ pub enum OptLevel {
     Fuse,
 }
 
+/// How the executor lays out the register at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One contiguous `2^n`-amplitude register (the default, and the
+    /// bit-identity oracle for the sharded mode).
+    #[default]
+    Flat,
+    /// The register split into `shards` worker-owned chunks
+    /// ([`crate::shard`]): low-support ops run embarrassingly parallel per
+    /// chunk with the same compiled kernels, high-qubit ops execute via
+    /// batched pairwise shard exchanges.  `shards` must be a power of two at
+    /// most `2^n`.  Under [`OptLevel::Fuse`] the optimizer is armed with the
+    /// shard boundary
+    /// ([`FusionOptions::with_shard_boundary`](crate::fuse::FusionOptions::with_shard_boundary))
+    /// so fusion minimizes exchange rounds.
+    Sharded {
+        /// Number of worker-owned chunks, `2^k`.
+        shards: usize,
+    },
+}
+
 /// A circuit compiled once and executable many times, single or batched.
 #[derive(Debug, Clone)]
 pub struct QuantumExecutor {
     compiled: CompiledCircuit,
+    /// Sharded execution plan, compiled from the *same* (fused) operation
+    /// list as `compiled` — `Some` iff the mode is [`ExecMode::Sharded`].
+    /// The flat form stays the bit-identity oracle.
+    sharded: Option<ShardedCircuit>,
     opt_level: OptLevel,
     /// Before/after fusion report (`None` for [`OptLevel::None`] and for
     /// [`QuantumExecutor::from_compiled`]).
@@ -101,21 +127,49 @@ impl QuantumExecutor {
         num_qubits: usize,
         opt_level: OptLevel,
     ) -> Self {
+        Self::for_register_with_exec_mode(circuit, num_qubits, opt_level, ExecMode::Flat)
+    }
+
+    /// Compile `circuit` once at an explicit [`OptLevel`] and [`ExecMode`].
+    pub fn with_exec_mode(circuit: &Circuit, opt_level: OptLevel, mode: ExecMode) -> Self {
+        Self::for_register_with_exec_mode(circuit, circuit.num_qubits(), opt_level, mode)
+    }
+
+    /// The general constructor: explicit register width, [`OptLevel`], and
+    /// [`ExecMode`].  In sharded mode the fused (or raw) operation list is
+    /// compiled twice — the flat oracle plus the sharded plan — still at
+    /// construction only; runs never recompile.
+    pub fn for_register_with_exec_mode(
+        circuit: &Circuit,
+        num_qubits: usize,
+        opt_level: OptLevel,
+        mode: ExecMode,
+    ) -> Self {
+        let shards = match mode {
+            ExecMode::Flat => None,
+            ExecMode::Sharded { shards } => Some(shards),
+        };
         match opt_level {
             OptLevel::None => QuantumExecutor {
                 compiled: CompiledCircuit::compile_for(circuit, num_qubits),
+                sharded: shards.map(|s| ShardedCircuit::compile(circuit, num_qubits, s)),
                 opt_level,
                 stats: None,
                 fault: None,
             },
             OptLevel::Fuse => {
-                let (compiled, stats) = CompiledCircuit::optimized_with(
-                    circuit,
-                    num_qubits,
-                    &FusionOptions::measured(),
-                );
+                let mut opts = FusionOptions::measured();
+                if let Some(s) = shards {
+                    // Arm the low-support preference with the shard boundary
+                    // m = n − k so fusion prices exchange traffic honestly.
+                    let k = s.trailing_zeros() as usize;
+                    opts = opts.with_shard_boundary(num_qubits.saturating_sub(k));
+                }
+                let (compiled, fused, stats) =
+                    CompiledCircuit::optimized_with_fused(circuit, num_qubits, &opts);
                 QuantumExecutor {
                     compiled,
+                    sharded: shards.map(|s| ShardedCircuit::compile(&fused, num_qubits, s)),
                     opt_level,
                     stats: Some(stats),
                     fault: None,
@@ -128,6 +182,7 @@ impl QuantumExecutor {
     pub fn from_compiled(compiled: CompiledCircuit) -> Self {
         QuantumExecutor {
             compiled,
+            sharded: None,
             opt_level: OptLevel::None,
             stats: None,
             fault: None,
@@ -177,15 +232,58 @@ impl QuantumExecutor {
         self.compiled.is_empty()
     }
 
-    /// The compiled artefact itself.
+    /// The compiled artefact itself — in sharded mode this flat form is the
+    /// bit-identity oracle for the sharded plan.
     pub fn compiled(&self) -> &CompiledCircuit {
         &self.compiled
     }
 
+    /// The execution mode the engine was built with.
+    pub fn exec_mode(&self) -> ExecMode {
+        match &self.sharded {
+            None => ExecMode::Flat,
+            Some(plan) => ExecMode::Sharded {
+                shards: plan.num_shards(),
+            },
+        }
+    }
+
+    /// The sharded execution plan (`Some` iff the mode is
+    /// [`ExecMode::Sharded`]) — exposes exchange-round and per-step-kind op
+    /// counts.
+    pub fn sharding(&self) -> Option<&ShardedCircuit> {
+        self.sharded.as_ref()
+    }
+
+    /// The ideal (fault-free) application at the engine's [`ExecMode`]:
+    /// flat compiled sweeps, or shard/apply-plan/gather.  Both paths are
+    /// bit-identical for the same compiled operation list.
+    fn apply_ideal(&self, state: &mut StateVector) {
+        match &self.sharded {
+            None => self.compiled.apply(state),
+            Some(plan) => {
+                let mut sharded = ShardedState::from_state(state, plan.num_shards());
+                plan.apply(&mut sharded);
+                state.set_amplitudes(sharded.into_state().into_amplitudes());
+            }
+        }
+    }
+
     /// Apply the compiled circuit to `state` in place (per-gate fan-out above
-    /// the usual work threshold).
+    /// the usual work threshold; in sharded mode the register is split,
+    /// run through the exchange plan, and gathered back).
     pub fn run_in_place(&self, state: &mut StateVector) {
-        self.compiled.apply(state);
+        self.apply_ideal(state);
+    }
+
+    /// Apply the sharded plan to an already-sharded register in place,
+    /// avoiding the split/gather of [`QuantumExecutor::run_in_place`].
+    /// Panics unless the engine was built with [`ExecMode::Sharded`].
+    pub fn run_sharded_in_place(&self, state: &mut ShardedState) {
+        self.sharded
+            .as_ref()
+            .expect("executor was not built with ExecMode::Sharded")
+            .apply(state);
     }
 
     /// Apply the compiled circuit to a copy of `initial` and return the
@@ -208,6 +306,14 @@ impl QuantumExecutor {
     /// total work justifies threads.  Results are bit-identical to
     /// `for s in states { executor.run_in_place(s) }` at any thread count.
     pub fn run_batch(&self, states: &mut [StateVector]) {
+        if self.sharded.is_some() {
+            // Each sharded run already fans out across shards; a nested
+            // batch fan-out would oversubscribe the workers.
+            for state in states {
+                self.apply_ideal(state);
+            }
+            return;
+        }
         if let Some(first) = states.first() {
             let per_state = self.compiled.work_estimate(first.amplitudes().len());
             let batch_work = per_state.saturating_mul(states.len());
@@ -240,7 +346,7 @@ impl QuantumExecutor {
     /// register or report a transient failure.  Without an injector this is
     /// exactly `run_in_place` — same kernels, same floats.
     pub fn run_in_place_checked(&self, state: &mut StateVector) -> Result<(), FaultError> {
-        self.compiled.apply(state);
+        self.apply_ideal(state);
         if let Some(inj) = &self.fault {
             lock_injector(inj).apply_to_state(state)?;
         }
@@ -265,7 +371,7 @@ impl QuantumExecutor {
                 states
                     .iter_mut()
                     .map(|state| {
-                        self.compiled.apply(state);
+                        self.apply_ideal(state);
                         guard.apply_to_state(state)
                     })
                     .collect()

@@ -79,6 +79,14 @@ pub fn circuit_compile_count() -> usize {
     CIRCUIT_COMPILES.with(|c| c.get())
 }
 
+/// Record one circuit compilation performed outside [`CompiledCircuit`] —
+/// the sharded plan builder ([`crate::shard::ShardedCircuit::compile`])
+/// compiles per-shard kernels itself but honours the same compile-once
+/// observability contract.
+pub(crate) fn note_circuit_compile() {
+    CIRCUIT_COMPILES.with(|c| c.set(c.get() + 1));
+}
+
 /// Minimum amount of work — measured in complex multiplies — in one gate
 /// application before the update fans out across threads.  Each kernel
 /// weights its free-index count by its per-iteration cost (1 for
@@ -797,6 +805,20 @@ impl CompiledCircuit {
         num_qubits: usize,
         options: &crate::fuse::FusionOptions,
     ) -> (Self, crate::fuse::CircuitStats) {
+        let (compiled, _, stats) = Self::optimized_with_fused(circuit, num_qubits, options);
+        (compiled, stats)
+    }
+
+    /// [`CompiledCircuit::optimized_with`] that also hands back the rewritten
+    /// [`Circuit`] itself, so callers building a second execution plan from
+    /// the same fused op list (the sharded executor compiles both a flat
+    /// oracle and a [`crate::shard::ShardedCircuit`]) do not re-run the
+    /// optimizer.  Still one [`circuit_compile_count`] tick.
+    pub fn optimized_with_fused(
+        circuit: &Circuit,
+        num_qubits: usize,
+        options: &crate::fuse::FusionOptions,
+    ) -> (Self, Circuit, crate::fuse::CircuitStats) {
         let fused = crate::fuse::optimize_circuit_for(circuit, num_qubits, options);
         let compiled = Self::compile_for(&fused, num_qubits);
         let len = 1usize << num_qubits;
@@ -815,7 +837,7 @@ impl CompiledCircuit {
             raw_sweep_work,
             fused_sweep_work: compiled.work_estimate(len),
         };
-        (compiled, stats)
+        (compiled, fused, stats)
     }
 
     /// Compile for a register of `num_qubits` (≥ the circuit's width), so the

@@ -56,6 +56,21 @@
 //!    per-gate path as the equivalence oracle, and [`CircuitStats`] reports
 //!    the before/after op counts and estimated sweep work.
 //!
+//! 5. **Shard past the one-allocation wall.**  [`shard`] splits the
+//!    `2^n`-amplitude register at the shard boundary `m = n − k` into `2^k`
+//!    worker-owned chunks ([`ShardedState`]): ops supported below the
+//!    boundary run embarrassingly parallel per chunk with the *same*
+//!    compiled kernels (SIMD bodies included), ops touching global qubits
+//!    execute via pairwise shard exchanges (swap chunk halves with the
+//!    partner shard, apply, swap back), batched so one exchange round
+//!    serves a run of high-qubit ops.  [`QuantumExecutor`] exposes it as
+//!    [`ExecMode::Sharded`]; the flat register remains the bit-identity
+//!    oracle, and the fusion pass accepts a shard boundary
+//!    ([`FusionOptions::with_shard_boundary`]) that prices exchange traffic
+//!    so merged ops prefer low-qubit support and rounds are minimized.
+//!    [`sharding_stats`] reports per-shard memory and exchange rounds for a
+//!    circuit.
+//!
 //! The seed's original "rebuild the whole vector per gate" path survives as
 //! `kernels::reference`, serving as the property-test oracle and the baseline
 //! of the `BENCH_simulator.json` perf trajectory (`bench_json` binary).
@@ -101,24 +116,31 @@ pub mod gate;
 pub mod kernels;
 pub mod measure;
 pub mod resources;
+pub mod shard;
 pub mod simd;
 pub mod state;
 pub mod unitary;
 
 pub use circuit::{Circuit, Operation};
 pub use cmatrix::CMatrix;
-pub use executor::{OptLevel, QuantumExecutor};
+pub use executor::{ExecMode, OptLevel, QuantumExecutor};
 pub use fault::{
     FaultError, FaultEvent, FaultInjector, FaultPlan, SharedFaultInjector, TransientFault,
     TransientKind,
 };
-pub use fuse::{calibration_count, optimize_circuit, CircuitStats, CostModel, FusionOptions};
+pub use fuse::{
+    calibration_count, optimize_circuit, optimize_circuit_for, CircuitStats, CostModel,
+    FusionOptions,
+};
 pub use gate::Gate;
 pub use kernels::{circuit_compile_count, CompiledCircuit, CompiledOp, PARALLEL_WORK_THRESHOLD};
 pub use measure::{
     estimate_magnitudes, sample, shots_for_accuracy, signed_from_magnitudes, SampleResult,
 };
-pub use resources::{estimate_resources, fusion_stats, ResourceEstimate, TCountModel};
+pub use resources::{
+    estimate_resources, fusion_stats, sharding_stats, ResourceEstimate, ShardingStats, TCountModel,
+};
+pub use shard::{ShardedCircuit, ShardedState};
 pub use simd::{simd_kernels_enabled, with_scalar_kernels};
 pub use state::StateVector;
 pub use unitary::{apply_circuit_to_vector, circuit_unitary};

@@ -222,6 +222,18 @@ impl StateVector {
         sv
     }
 
+    /// [`StateVector::run`] through the sharded engine ([`crate::shard`]):
+    /// the register is split into `num_shards` worker-owned chunks and the
+    /// circuit executes via per-shard sweeps and pairwise exchanges.
+    /// Bit-identical to [`StateVector::run`] at every shard count.
+    pub fn run_sharded(circuit: &Circuit, num_shards: usize) -> Self {
+        use crate::shard::{ShardedCircuit, ShardedState};
+        let plan = ShardedCircuit::compile(circuit, circuit.num_qubits(), num_shards);
+        let mut sharded = ShardedState::zero_state(circuit.num_qubits(), num_shards);
+        plan.apply(&mut sharded);
+        sharded.into_state()
+    }
+
     /// Project onto the subspace where the given qubits are all `|0⟩`,
     /// *without* renormalising.  Returns the probability mass kept.
     ///

@@ -49,6 +49,29 @@
 //! conjugations collapse to one diagonal) and mask-densifying fusion of
 //! controlled ops with different control sets.  `CostModel::Static` keeps
 //! the deterministic table for reproducible tests.
+//!
+//! ## Sharded execution: past the one-allocation wall
+//!
+//! `qls_sim::shard` splits the `2^n`-amplitude register at the shard
+//! boundary `m = n − k` into `2^k` worker-owned chunks (`ShardedState`).
+//! Ops supported below the boundary run embarrassingly parallel per chunk
+//! with the *same* compiled kernels (SIMD bodies included); ops touching
+//! global qubits execute via pairwise shard exchanges — partner shards swap
+//! chunk halves, the ops run shard-locally with the qubit pair transposed,
+//! the halves swap back — batched so one exchange round serves a run of
+//! high-qubit ops.  Select it per engine with
+//! `qls_sim::ExecMode::Sharded { shards }` (on `QuantumExecutor`,
+//! `BlockEncodingExecutor::with_exec_mode`, `QsvtInverter::with_exec_mode`);
+//! the flat register remains the **bit-identity oracle** at every shard
+//! count (`tests/shard_equivalence.rs` in `qls-sim`).  Fusion cooperates:
+//! `FusionOptions::with_shard_boundary` prices movement per exchanged qubit
+//! with an `α + β·n` transfer model (fixed round latency + per-amplitude
+//! traffic) and lets exchange-bearing ops merge past the dense cap, so
+//! fused ops prefer low-qubit support and exchange rounds are retired
+//! outright (0 rounds on the degree-117 QSVT circuit, vs 3 without the
+//! preference); `qls_sim::sharding_stats` reports
+//! per-shard memory and exchange rounds (see `examples/large_register.rs`
+//! and the `sharded_vs_flat` workload of `bench_json`).
 //! * [`encoding`] (`qls-encoding`) — state preparation and block-encodings;
 //! * [`qsvt`] (`qls-qsvt`) — QSP phases, QSVT circuits, matrix inversion
 //!   (compile-once: `QsvtInverter` compiles its circuit in `new` and offers
@@ -114,7 +137,9 @@
 //!   workload — `poisson2d` — the matrix-free 2-D stencil workload —
 //!   `noisy_refinement` — the fault-injection + recovery-ladder
 //!   demonstration — `hhl_vs_qsvt`, `precision_tradeoff`,
-//!   `circuit_resources`).
+//!   `circuit_resources`, and `large_register` — a 22-qubit circuit run
+//!   through the sharded engine, printing per-shard memory and exchange
+//!   rounds).
 //! * `cargo bench` — criterion micro-benchmarks of every substrate
 //!   (`crates/bench/benches/`).
 //! * `cargo run --release -p qls-bench --bin table1` — regenerate Table I;
@@ -162,9 +187,10 @@ pub mod prelude {
     pub use qls_poly::{ChebyshevSeries, InversePolynomial};
     pub use qls_qsvt::{QsvtInverter, QsvtMode};
     pub use qls_sim::{
-        calibration_count, estimate_resources, fusion_stats, with_scalar_kernels, Circuit,
-        CircuitStats, CostModel, FaultInjector, FaultPlan, FusionOptions, Gate, OptLevel,
-        QuantumExecutor, StateVector, TCountModel, TransientKind,
+        calibration_count, estimate_resources, fusion_stats, sharding_stats, with_scalar_kernels,
+        Circuit, CircuitStats, CostModel, ExecMode, FaultInjector, FaultPlan, FusionOptions, Gate,
+        OptLevel, QuantumExecutor, ShardedCircuit, ShardedState, ShardingStats, StateVector,
+        TCountModel, TransientKind,
     };
 
     pub use rand::SeedableRng;
