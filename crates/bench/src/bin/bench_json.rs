@@ -15,7 +15,12 @@
 //!    compile-once engine (`OptLevel::None`) *and* the retained uncached
 //!    per-call path — their ratios are the gate-fusion and compile-once
 //!    speedups, and the `fusion_op_reduction` stat records how far the
-//!    optimizer shrinks the degree-d QSVT circuit;
+//!    optimizer shrinks the degree-d QSVT circuit; the build is measured
+//!    twice through the artifact cache (`qls_cache`) — cold (fresh cache
+//!    directory, includes the store writes) and warm (pre-populated
+//!    directory) — with `warm_vs_cold_build_speedup` recording the payoff
+//!    and `build_phase_generations_warm` / `build_fusion_passes_warm`
+//!    asserting (at 0) that the warm build regenerates nothing;
 //! 3. dense-unitary extraction (`circuit_unitary`), the verification hot
 //!    loop;
 //! 4. an end-to-end hybrid refinement solve (Algorithm 2, circuit mode):
@@ -61,11 +66,19 @@
 //! `parallel_speedup_meaningful` flag (false on 1-thread machines, where
 //! the ~1.0 ratios would otherwise read as regressions).
 //!
-//! Usage: `bench_json [--preset small|full] [--out PATH]`.  The `small`
-//! preset shrinks every workload so CI can validate the artifact in seconds;
-//! the committed `BENCH_simulator.json` comes from the `full` preset.
+//! Usage: `bench_json [--preset small|full] [--out PATH] [--compare BASELINE]`.
+//! The `small` preset shrinks every workload so CI can validate the artifact
+//! in seconds; the committed `BENCH_simulator.json` comes from the `full`
+//! preset.  `--compare` turns the run into a perf-regression gate: after
+//! emitting the artifact it checks the fresh numbers against the committed
+//! baseline — generous fractional floors on the timing *ratios* (which
+//! survive preset and machine changes where absolute seconds do not) and
+//! exact ceilings on the deterministic counters (circuit compiles in the
+//! refinement loop, sharded exchange rounds, warm-build regenerations) — and
+//! exits nonzero listing every violated floor.
 
 use qls_bench::{experiment_rng, layered_circuit, paper_test_system, random_circuit};
+use qls_cache::with_cache_dir;
 use qls_core::HybridStatus;
 use qls_core::{HybridRefinementOptions, HybridRefiner, QsvtSolverOptions};
 use qls_linalg::{
@@ -73,14 +86,15 @@ use qls_linalg::{
     shifted_graph_laplacian, ClassicalRefiner, RefinementOptions, SparseMatrix, StencilNd,
     TridiagonalMatrix, Vector,
 };
-use qls_qsvt::{QsvtInverter, QsvtMode};
+use qls_qsvt::{phase_generation_count, QsvtInverter, QsvtMode};
 use qls_sim::kernels::reference;
 use qls_sim::{
-    calibration_count, circuit_compile_count, circuit_unitary, optimize_circuit,
+    calibration_count, circuit_compile_count, circuit_unitary, fusion_pass_count, optimize_circuit,
     optimize_circuit_for, sharding_stats, with_scalar_kernels, ExecMode, FusionOptions, OptLevel,
     QuantumExecutor, ShardedCircuit, StateVector,
 };
 use rayon::ThreadPoolBuilder;
+use serde::{parse_json, Value};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -213,6 +227,7 @@ fn single_thread_pool() -> rayon::ThreadPool {
 fn main() {
     let mut preset = FULL;
     let mut out_path = String::from("BENCH_simulator.json");
+    let mut compare_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -225,6 +240,7 @@ fn main() {
                 };
             }
             "--out" => out_path = args.next().expect("--out needs a value"),
+            "--compare" => compare_path = Some(args.next().expect("--compare needs a value")),
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -292,14 +308,68 @@ fn main() {
     // compile-once (`OptLevel::None`), and the retained uncached per-call
     // oracle.  `solve_seconds` keeps its historical meaning (unoptimized
     // compile-once) so the perf trajectory stays comparable across PRs.
+    //
+    // The build is timed through the artifact cache, hermetically (a bench
+    // temp directory, so the run never reads or pollutes the user's
+    // `~/.cache/qls`): `build_seconds` keeps its historical from-scratch
+    // meaning — each rep sees a fresh empty directory (and now also pays the
+    // store writes) — while `build_seconds_warm` rebuilds against a
+    // pre-populated directory, where phase factors and the fused circuit are
+    // disk reads.  The thread-local generation counters pin the warm path to
+    // exactly zero phase-factor generations and zero fusion passes.
     let (a, b) = paper_test_system(preset.qsvt_n, preset.qsvt_kappa, 1);
-    let build_start = Instant::now();
-    let inverter = QsvtInverter::new(&a, preset.qsvt_eps, QsvtMode::CircuitReal)
-        .expect("QSVT inverter construction");
-    let qsvt_build = build_start.elapsed().as_secs_f64();
-    let unfused_inverter =
-        QsvtInverter::with_opt_level(&a, preset.qsvt_eps, QsvtMode::CircuitReal, OptLevel::None)
+    let bench_cache_root =
+        std::env::temp_dir().join(format!("qls-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&bench_cache_root);
+    let mut cold_rep = 0usize;
+    let qsvt_build = time_min(3, || {
+        cold_rep += 1;
+        let dir = bench_cache_root.join(format!("cold-{cold_rep}"));
+        with_cache_dir(dir, || {
+            std::hint::black_box(
+                QsvtInverter::new(&a, preset.qsvt_eps, QsvtMode::CircuitReal)
+                    .expect("QSVT inverter construction"),
+            );
+        });
+    });
+    let warm_dir = bench_cache_root.join("warm");
+    let (inverter, unfused_inverter, qsvt_build_warm, warm_phase_gens, warm_fusion_passes) =
+        with_cache_dir(warm_dir, || {
+            // Populate the directory, keeping this (cache-built) engine for
+            // the solve measurements below.
+            let inverter = QsvtInverter::new(&a, preset.qsvt_eps, QsvtMode::CircuitReal)
+                .expect("QSVT inverter construction");
+            let (p0, f0) = (phase_generation_count(), fusion_pass_count());
+            let warm = time_min(3, || {
+                std::hint::black_box(
+                    QsvtInverter::new(&a, preset.qsvt_eps, QsvtMode::CircuitReal)
+                        .expect("warm QSVT inverter construction"),
+                );
+            });
+            let unfused_inverter = QsvtInverter::with_opt_level(
+                &a,
+                preset.qsvt_eps,
+                QsvtMode::CircuitReal,
+                OptLevel::None,
+            )
             .expect("unfused QSVT inverter construction");
+            (
+                inverter,
+                unfused_inverter,
+                warm,
+                phase_generation_count() - p0,
+                fusion_pass_count() - f0,
+            )
+        });
+    let warm_build_speedup = qsvt_build / qsvt_build_warm;
+    assert_eq!(
+        warm_phase_gens, 0,
+        "warm build must not regenerate phase factors"
+    );
+    assert_eq!(
+        warm_fusion_passes, 0,
+        "warm build must not rerun the fusion pass"
+    );
     let degree = inverter.resources().degree;
     let fusion = *inverter.circuit_stats().expect("fusion stats");
     let qsvt_solve_fused = time_min(3, || {
@@ -338,7 +408,9 @@ fn main() {
     });
     let qsvt_simd_speedup = qsvt_scalar_1t / qsvt_simd_1t;
     eprintln!(
-        "  qsvt_solve n={} kappa={} eps={:.0e}: degree {degree}, build {qsvt_build:.4}s, \
+        "  qsvt_solve n={} kappa={} eps={:.0e}: degree {degree}, build cold {qsvt_build:.4}s \
+         vs warm {qsvt_build_warm:.4}s ({warm_build_speedup:.1}x, {warm_phase_gens} phase \
+         generations / {warm_fusion_passes} fusion passes warm), \
          fused solve {qsvt_solve_fused:.4}s, unfused {qsvt_solve:.4}s \
          ({qsvt_fused_speedup:.1}x fusion), uncached {qsvt_solve_uncached:.4}s \
          ({qsvt_solve_speedup:.1}x compile-once), simd {qsvt_simd_1t:.4}s vs \
@@ -980,6 +1052,10 @@ fn main() {
       "epsilon": {qsvt_eps:e},
       "polynomial_degree": {degree},
       "build_seconds": {qsvt_build:.6},
+      "build_seconds_warm": {qsvt_build_warm:.6},
+      "warm_vs_cold_build_speedup": {warm_build_speedup:.3},
+      "build_phase_generations_warm": {warm_phase_gens},
+      "build_fusion_passes_warm": {warm_fusion_passes},
       "solve_seconds": {qsvt_solve:.6},
       "fused_solve_seconds": {qsvt_solve_fused:.6},
       "fused_vs_unfused_speedup": {qsvt_fused_speedup:.3},
@@ -1045,4 +1121,185 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     eprintln!("bench_json: wrote {out_path}");
     print!("{json}");
+    let _ = std::fs::remove_dir_all(&bench_cache_root);
+
+    // -- Perf-regression gate (--compare) ------------------------------------
+    if let Some(baseline_path) = compare_path {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let violations = compare_against_baseline(&json, &baseline);
+        if violations.is_empty() {
+            eprintln!("bench_json: no perf regressions against {baseline_path}");
+        } else {
+            eprintln!(
+                "bench_json: {} perf regression(s) against {baseline_path}:",
+                violations.len()
+            );
+            for v in &violations {
+                eprintln!("  REGRESSION: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// A perf floor checked by `--compare`: the current value of
+/// `workload.field` must stay at or above `fraction` of the committed
+/// baseline value.  The fractions are deliberately generous — the committed
+/// artifact comes from the `full` preset on a quiet machine while the gate
+/// usually runs the `small` preset on shared CI hardware, so only a
+/// *collapse* of a ratio (a lost kernel, a disabled cache, a fusion pass
+/// that stopped firing) should trip them, not machine noise.
+struct RatioFloor {
+    workload: &'static str,
+    field: &'static str,
+    fraction: f64,
+}
+
+/// A deterministic counter checked by `--compare`: the current value of
+/// `workload.field` must not exceed the committed baseline value.  These
+/// counters (circuit compiles in the refinement loop, sharded exchange
+/// rounds, warm-build regenerations) are machine- and preset-independent
+/// once at their floor, so any increase is a real regression.
+struct CounterCeiling {
+    workload: &'static str,
+    field: &'static str,
+}
+
+const RATIO_FLOORS: &[RatioFloor] = &[
+    RatioFloor {
+        workload: "random_circuit",
+        field: "kernel_vs_generic_speedup",
+        fraction: 0.25,
+    },
+    RatioFloor {
+        workload: "random_circuit",
+        field: "simd_vs_scalar_speedup",
+        fraction: 0.5,
+    },
+    RatioFloor {
+        workload: "sparse_residual",
+        field: "simd_vs_scalar_speedup",
+        fraction: 0.3,
+    },
+    // The fusion and warm-build payoffs scale with circuit size and
+    // polynomial degree, so the small-preset gate run sits far below the
+    // full-preset baseline even when healthy; these floors are set where
+    // only a collapse to ~1.0x (cache or fusion effectively disabled)
+    // lands under them.
+    RatioFloor {
+        workload: "qsvt_solve_circuit_mode",
+        field: "fused_vs_unfused_speedup",
+        fraction: 0.03,
+    },
+    RatioFloor {
+        workload: "qsvt_solve_circuit_mode",
+        field: "warm_vs_cold_build_speedup",
+        fraction: 0.1,
+    },
+    RatioFloor {
+        workload: "hybrid_refinement_circuit_mode",
+        field: "compile_once_vs_recompile_speedup",
+        fraction: 0.2,
+    },
+];
+
+const COUNTER_CEILINGS: &[CounterCeiling] = &[
+    CounterCeiling {
+        workload: "hybrid_refinement_circuit_mode",
+        field: "compile_once_circuit_compiles",
+    },
+    CounterCeiling {
+        workload: "qsvt_solve_circuit_mode",
+        field: "build_phase_generations_warm",
+    },
+    CounterCeiling {
+        workload: "qsvt_solve_circuit_mode",
+        field: "build_fusion_passes_warm",
+    },
+    CounterCeiling {
+        workload: "sharded_vs_flat",
+        field: "qsvt_exchange_rounds",
+    },
+];
+
+/// First workload entry named `name` in a parsed artifact.
+fn find_workload<'v>(doc: &'v Value, name: &str) -> Option<&'v Value> {
+    match doc.get("workloads")? {
+        Value::Seq(items) => items
+            .iter()
+            .find(|w| matches!(w.get("name"), Some(Value::Str(s)) if s == name)),
+        _ => None,
+    }
+}
+
+fn numeric(value: &Value) -> Option<f64> {
+    match value {
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn workload_field(doc: &Value, workload: &str, field: &str) -> Result<f64, String> {
+    let w = find_workload(doc, workload).ok_or_else(|| format!("missing workload {workload}"))?;
+    let v = w
+        .get(field)
+        .ok_or_else(|| format!("workload {workload} missing field {field}"))?;
+    numeric(v).ok_or_else(|| format!("workload {workload} field {field} is not numeric"))
+}
+
+/// Check the fresh artifact against the committed baseline; returns the list
+/// of violated floors/ceilings (empty = gate passes).  A field missing from
+/// the *baseline* is skipped — that is how new fields roll out (the gate
+/// starts enforcing them once a regenerated baseline is committed) — but a
+/// field missing from the *current* run is a violation: the gate must never
+/// silently pass because a workload stopped being emitted.
+fn compare_against_baseline(current_json: &str, baseline_json: &str) -> Vec<String> {
+    let current: Value = match parse_json(current_json) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("current artifact is not valid JSON: {e}")],
+    };
+    let baseline: Value = match parse_json(baseline_json) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("baseline artifact is not valid JSON: {e}")],
+    };
+    let mut violations = Vec::new();
+    for floor in RATIO_FLOORS {
+        let base = match workload_field(&baseline, floor.workload, floor.field) {
+            Ok(v) => v,
+            Err(_) => continue, // not in the baseline yet: nothing to hold
+        };
+        match workload_field(&current, floor.workload, floor.field) {
+            Ok(cur) => {
+                let min = floor.fraction * base;
+                if cur < min {
+                    violations.push(format!(
+                        "{}.{} = {cur:.3} fell below {min:.3} ({}x of baseline {base:.3})",
+                        floor.workload, floor.field, floor.fraction
+                    ));
+                }
+            }
+            Err(e) => violations.push(e),
+        }
+    }
+    for ceiling in COUNTER_CEILINGS {
+        let base = match workload_field(&baseline, ceiling.workload, ceiling.field) {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
+        match workload_field(&current, ceiling.workload, ceiling.field) {
+            Ok(cur) => {
+                if cur > base {
+                    violations.push(format!(
+                        "{}.{} = {cur} exceeds the committed baseline {base}",
+                        ceiling.workload, ceiling.field
+                    ));
+                }
+            }
+            Err(e) => violations.push(e),
+        }
+    }
+    violations
 }

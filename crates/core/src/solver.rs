@@ -16,11 +16,12 @@
 //! flops) feeds the cost model of [`crate::cost`].
 
 use crate::error::QlsError;
+use qls_cache::CachePolicy;
 use qls_encoding::StatePreparation;
 use qls_linalg::{brent_minimize, scaled_residual, LinearOperator, Matrix, Vector};
 use qls_qsvt::{QsvtInverter, QsvtMode, QsvtResources};
 use qls_sim::fault::{lock_injector, SharedFaultInjector};
-use qls_sim::{shots_for_accuracy, OptLevel};
+use qls_sim::{shots_for_accuracy, ExecMode, OptLevel};
 use rand::Rng;
 use serde::Serialize;
 
@@ -51,6 +52,13 @@ pub struct QsvtSolverOptions {
     /// recompile-per-iteration end to end and tests can check the two paths
     /// agree.  Leave `false` outside benchmarks.
     pub recompile_baseline: bool,
+    /// Persistent artifact cache policy (`qls-cache`).  `Enabled` — the
+    /// default — lets repeat constructions of the same solver (same matrix
+    /// spectrum, accuracy, and options) load the QSVT phase factors and the
+    /// fused circuit from disk instead of regenerating them; results are
+    /// bit-identical either way.  `CachePolicy::Disabled` is the escape
+    /// hatch that never reads or writes the cache directory.
+    pub cache: CachePolicy,
 }
 
 impl Default for QsvtSolverOptions {
@@ -62,6 +70,7 @@ impl Default for QsvtSolverOptions {
             brent_tolerance: 1e-12,
             opt_level: OptLevel::default(),
             recompile_baseline: false,
+            cache: CachePolicy::default(),
         }
     }
 }
@@ -132,11 +141,13 @@ impl<Op: LinearOperator<f64>> QsvtLinearSolver<Op> {
         // The densified temporary is dropped before the operator is cloned,
         // so the dense default (`to_dense` = clone) never holds an extra
         // N² buffer beyond what the inverter keeps.
-        let inverter = QsvtInverter::with_opt_level(
+        let inverter = QsvtInverter::with_config(
             &a.to_dense(),
             options.epsilon_l,
             options.mode,
             options.opt_level,
+            ExecMode::default(),
+            options.cache,
         )?;
         Ok(QsvtLinearSolver {
             operator: a.clone(),

@@ -124,21 +124,27 @@ impl QsvtCircuit {
         let selector = inner_total; // new top qubit
         let total = inner_total + 1;
 
+        let num_data_qubits = plus.num_data_qubits;
+        let num_ancilla_qubits = plus.num_ancilla_qubits;
+        let degree = plus.degree;
         let mut circuit = Circuit::new(total);
         circuit.h(selector);
         // Apply U_Φ when the selector is |0⟩ (X conjugation), U_{−Φ} when |1⟩.
+        // The branch circuits move in (`into_controlled` + `append_owned`):
+        // their degree-many block-encoding unitaries are megabytes of gate
+        // payload that warm cache-replay construction must not re-clone.
         circuit.x(selector);
-        circuit.append(&plus.circuit.controlled(&[selector]).remapped(total, |q| q));
+        circuit.append_owned(plus.circuit.into_controlled(&[selector]));
         circuit.x(selector);
-        circuit.append(&minus.circuit.controlled(&[selector]).remapped(total, |q| q));
+        circuit.append_owned(minus.circuit.into_controlled(&[selector]));
         circuit.h(selector);
 
         QsvtCircuit {
             circuit,
-            num_data_qubits: plus.num_data_qubits,
-            num_ancilla_qubits: plus.num_ancilla_qubits + 1,
-            degree: plus.degree,
-            block_encoding_calls: 2 * plus.degree,
+            num_data_qubits,
+            num_ancilla_qubits: num_ancilla_qubits + 1,
+            degree,
+            block_encoding_calls: 2 * degree,
         }
     }
 

@@ -23,6 +23,9 @@ pub mod qsp;
 pub mod solve;
 
 pub use circuit::QsvtCircuit;
-pub use phases::{find_phases, PhaseError, PhaseFindingOptions, QspPhases};
+pub use phases::{
+    find_phases, find_phases_cached, phase_generation_count, PhaseError, PhaseFindingOptions,
+    QspPhases,
+};
 pub use qsp::{qsp_polynomial, qsp_real_polynomial, qsp_unitary};
 pub use solve::{QsvtError, QsvtInverter, QsvtMode, QsvtResources};

@@ -21,8 +21,31 @@
 //! degrees.
 
 use crate::qsp::qsp_real_polynomial;
+use qls_cache::{CachePolicy, CacheStore, FingerprintBuilder};
 use qls_linalg::{LuFactorization, Matrix, Vector};
 use qls_poly::{chebyshev_t, ChebyshevSeries, Parity};
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+
+/// Cache kind under which computed phase vectors are stored (see
+/// [`find_phases_cached`] and the `qls-cache` crate docs for the
+/// fingerprint scheme).
+pub const PHASES_CACHE_KIND: &str = "qsvt-phases";
+/// Entry-format version of the phase store; bump to orphan old entries.
+pub const PHASES_CACHE_VERSION: u32 = 1;
+
+thread_local! {
+    /// Phase-factor generations performed by this thread, for cache-contract
+    /// tests (mirrors `qls_sim::circuit_compile_count`).
+    static PHASE_GENERATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of phase-factor generations (actual quasi-Newton runs, cache hits
+/// excluded) performed so far by the calling thread.  Read it around a code
+/// region to verify the "warm construction never regenerates" contract.
+pub fn phase_generation_count() -> usize {
+    PHASE_GENERATIONS.with(|c| c.get())
+}
 
 /// Options for the phase solver.
 #[derive(Debug, Clone, Copy)]
@@ -92,7 +115,7 @@ impl std::fmt::Display for PhaseError {
 impl std::error::Error for PhaseError {}
 
 /// A computed symmetric phase vector together with solver diagnostics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QspPhases {
     /// Full phase vector `(φ_0, …, φ_d)` in the Wx convention.
     pub phases: Vec<f64>,
@@ -196,6 +219,7 @@ pub fn find_phases(
     target: &ChebyshevSeries,
     options: &PhaseFindingOptions,
 ) -> Result<QspPhases, PhaseError> {
+    PHASE_GENERATIONS.with(|c| c.set(c.get() + 1));
     if target.is_empty() || target.coeffs.iter().all(|&c| c == 0.0) {
         return Err(PhaseError::EmptyTarget);
     }
@@ -265,6 +289,49 @@ pub fn find_phases(
         iterations: iterations + 1,
         degree,
     })
+}
+
+/// The phase-cache key: the full coefficient vector by `f64` bit pattern
+/// (which already encodes κ, ε and the degree for the solver's inversion
+/// polynomial) plus every phase-finding option — the complete input set of
+/// the pure function [`find_phases`].
+fn phases_fingerprint(
+    target: &ChebyshevSeries,
+    options: &PhaseFindingOptions,
+) -> qls_cache::Fingerprint {
+    let mut b = FingerprintBuilder::new(PHASES_CACHE_KIND);
+    b.write_f64_slice(&target.coeffs);
+    b.write_f64(options.tolerance);
+    b.write_usize(options.max_iterations);
+    b.write_f64(options.damping);
+    b.write_f64(options.stall_factor);
+    b.finish()
+}
+
+/// [`find_phases`] behind the persistent artifact cache: a warm lookup
+/// replays the cold run's exact phase vector (bit-identical, and
+/// [`PhaseError`]-free since only successes are stored) without running the
+/// quasi-Newton solver.  With [`CachePolicy::Disabled`] — or when no cache
+/// directory resolves — this is exactly [`find_phases`].
+pub fn find_phases_cached(
+    target: &ChebyshevSeries,
+    options: &PhaseFindingOptions,
+    policy: CachePolicy,
+) -> Result<QspPhases, PhaseError> {
+    let store = match policy {
+        CachePolicy::Enabled => CacheStore::open(),
+        CachePolicy::Disabled => None,
+    };
+    let Some(store) = store else {
+        return find_phases(target, options);
+    };
+    let key = phases_fingerprint(target, options);
+    if let Some(phases) = store.load::<QspPhases>(PHASES_CACHE_KIND, PHASES_CACHE_VERSION, key) {
+        return Ok(phases);
+    }
+    let phases = find_phases(target, options)?;
+    store.store(PHASES_CACHE_KIND, PHASES_CACHE_VERSION, key, &phases);
+    Ok(phases)
 }
 
 #[cfg(test)]

@@ -19,8 +19,9 @@
 //!   the substitution table in DESIGN.md.
 
 use crate::circuit::QsvtCircuit;
-use crate::phases::{find_phases, PhaseError, PhaseFindingOptions};
+use crate::phases::{find_phases_cached, PhaseError, PhaseFindingOptions};
 use num_complex::Complex64;
+use qls_cache::CachePolicy;
 use qls_encoding::DilationBlockEncoding;
 use qls_linalg::{Matrix, Svd, Vector};
 use qls_poly::InversePolynomial;
@@ -180,6 +181,34 @@ impl QsvtInverter {
         opt_level: OptLevel,
         exec_mode: ExecMode,
     ) -> Result<Self, QsvtError> {
+        Self::with_config(
+            a,
+            epsilon_l,
+            mode,
+            opt_level,
+            exec_mode,
+            CachePolicy::default(),
+        )
+    }
+
+    /// The general constructor, adding the [`CachePolicy`] for the persistent
+    /// artifact cache (`qls-cache`).  `Enabled` — the default throughout the
+    /// QSVT layer — consults the on-disk stores before the two expensive
+    /// construction stages: symmetric-QSP phase factors (kind `qsvt-phases`,
+    /// keyed by the polynomial's Chebyshev coefficients and the
+    /// phase-finding options) and the fused circuit (kind `fused-circuits`,
+    /// keyed by the gate list, fusion options, and machine fingerprint).
+    /// Warm constructions therefore run zero phase-factor iterations and
+    /// zero fusion passes, and produce bit-identical artefacts to a cold
+    /// build.  `Disabled` is the escape hatch that never touches the disk.
+    pub fn with_config(
+        a: &Matrix<f64>,
+        epsilon_l: f64,
+        mode: QsvtMode,
+        opt_level: OptLevel,
+        exec_mode: ExecMode,
+        cache: CachePolicy,
+    ) -> Result<Self, QsvtError> {
         assert!(a.is_square(), "QSVT inversion needs a square matrix");
         assert!(
             epsilon_l > 0.0 && epsilon_l < 1.0,
@@ -203,13 +232,15 @@ impl QsvtInverter {
         let polynomial = InversePolynomial::new(kappa, eps_prime);
 
         let circuit = if mode == QsvtMode::CircuitReal {
-            let phases = find_phases(&polynomial.series, &PhaseFindingOptions::default())
-                .map_err(QsvtError::Phases)?;
+            let phases =
+                find_phases_cached(&polynomial.series, &PhaseFindingOptions::default(), cache)
+                    .map_err(QsvtError::Phases)?;
             let be = DilationBlockEncoding::of_adjoint(a, alpha);
             let qsvt = QsvtCircuit::with_real_part_extraction(&be, &phases.phases);
             // Optimize + compile exactly once; every solve_direction call
             // (single or batched) reuses this compiled artefact.
-            let executor = QuantumExecutor::with_exec_mode(qsvt.circuit(), opt_level, exec_mode);
+            let executor =
+                QuantumExecutor::with_config(qsvt.circuit(), opt_level, exec_mode, cache);
             let n = qsvt.num_data_qubits();
             let total = n + qsvt.num_ancilla_qubits();
             Some(CircuitArtefacts {

@@ -12,10 +12,11 @@
 //! `Σ q_i 2^i`.
 
 use crate::gate::Gate;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A gate placed on specific target and control qubits.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Operation {
     /// The gate applied to the targets.
     pub gate: Gate,
@@ -73,10 +74,55 @@ impl Operation {
 }
 
 /// An ordered sequence of operations on `num_qubits` qubits.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct Circuit {
     num_qubits: usize,
     ops: Vec<Operation>,
+}
+
+// Deserialize is hand-written (Serialize is derived) so a decoded circuit
+// re-establishes every invariant [`Circuit::push`] and [`Operation::new`]
+// enforce — arity, target/control disjointness, register bounds, and
+// well-formed `Gate::Unitary` dimensions.  A cache entry that decodes but
+// violates an invariant becomes a decode *error* (treated as a cache miss
+// upstream), never a malformed circuit that panics later.
+impl<'de> serde::Deserialize<'de> for Circuit {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let num_qubits = usize::deserialize(value.field("Circuit", "num_qubits")?)?;
+        let ops = Vec::<Operation>::deserialize(value.field("Circuit", "ops")?)?;
+        for (i, op) in ops.iter().enumerate() {
+            let fail = |why: &str| {
+                Err(serde::DeError::new(format!(
+                    "Circuit: operation {i} ({}) {why}",
+                    op.gate.name()
+                )))
+            };
+            if let Gate::Unitary(m) = &op.gate {
+                let dim = m.nrows();
+                if m.ncols() != dim || !dim.is_power_of_two() || dim < 2 {
+                    return fail("has a non-2^k-square unitary");
+                }
+            }
+            if op.gate.arity() != op.targets.len() {
+                return fail("has the wrong target count");
+            }
+            let mut all: Vec<usize> = op
+                .targets
+                .iter()
+                .chain(op.controls.iter())
+                .copied()
+                .collect();
+            all.sort_unstable();
+            all.dedup();
+            if all.len() != op.targets.len() + op.controls.len() {
+                return fail("reuses a qubit as target and control");
+            }
+            if op.max_qubit() >= num_qubits {
+                return fail("touches a qubit outside the register");
+            }
+        }
+        Ok(Circuit { num_qubits, ops })
+    }
 }
 
 impl Circuit {
@@ -222,6 +268,21 @@ impl Circuit {
         self
     }
 
+    /// Move another circuit's operations onto the end of this one.  Same
+    /// contract as [`Circuit::append`], but consuming: the gate payloads
+    /// (notably `Gate::Unitary` matrices) transfer without being cloned,
+    /// which matters when appending block-encoding-heavy QSVT sequences.
+    pub fn append_owned(&mut self, other: Circuit) -> &mut Self {
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "cannot append a {}-qubit circuit to a {}-qubit circuit",
+            other.num_qubits,
+            self.num_qubits
+        );
+        self.ops.extend(other.ops);
+        self
+    }
+
     /// The adjoint (inverse) circuit: reversed order, each gate replaced by its
     /// adjoint, controls preserved.
     pub fn adjoint(&self) -> Circuit {
@@ -263,6 +324,28 @@ impl Circuit {
             num_qubits: self.num_qubits.max(max_extra),
             ops,
         }
+    }
+
+    /// Consuming variant of [`Circuit::controlled`]: adds the extra controls
+    /// to every operation in place, without cloning gate payloads.
+    pub fn into_controlled(mut self, extra_controls: &[usize]) -> Circuit {
+        for op in &mut self.ops {
+            for &c in extra_controls {
+                assert!(
+                    !op.targets.contains(&c) && !op.controls.contains(&c),
+                    "control qubit {c} collides with an existing target/control"
+                );
+            }
+            op.controls.extend_from_slice(extra_controls);
+        }
+        let max_extra = extra_controls
+            .iter()
+            .copied()
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        self.num_qubits = self.num_qubits.max(max_extra);
+        self
     }
 
     /// A copy of the circuit with every qubit index remapped through `map`

@@ -247,6 +247,46 @@ impl IndexMut<(usize, usize)> for CMatrix {
     }
 }
 
+// Hand-written (not derived) so the wire format stays flat — entries as an
+// interleaved `[re, im, re, im, …]` float sequence — and so deserialization
+// can validate the `data.len() == rows·cols` invariant the private fields
+// guarantee, returning a decode error instead of a corrupt matrix.  Used by
+// the fused-circuit artifact cache (`Gate::Unitary` payloads).
+impl serde::Serialize for CMatrix {
+    fn serialize(&self) -> serde::Value {
+        let mut entries = Vec::with_capacity(self.data.len() * 2);
+        for z in &self.data {
+            entries.push(serde::Value::Float(z.re));
+            entries.push(serde::Value::Float(z.im));
+        }
+        serde::Value::Map(vec![
+            ("rows".to_string(), serde::Value::Int(self.rows as i64)),
+            ("cols".to_string(), serde::Value::Int(self.cols as i64)),
+            ("data".to_string(), serde::Value::Seq(entries)),
+        ])
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for CMatrix {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let rows = usize::deserialize(value.field("CMatrix", "rows")?)?;
+        let cols = usize::deserialize(value.field("CMatrix", "cols")?)?;
+        let flat = Vec::<f64>::deserialize(value.field("CMatrix", "data")?)?;
+        let needed = rows.checked_mul(cols).and_then(|n| n.checked_mul(2));
+        if needed != Some(flat.len()) {
+            return Err(serde::DeError::new(format!(
+                "CMatrix: {rows}x{cols} needs {needed:?} floats, found {}",
+                flat.len()
+            )));
+        }
+        let data = flat
+            .chunks_exact(2)
+            .map(|p| Complex64::new(p[0], p[1]))
+            .collect();
+        Ok(CMatrix { rows, cols, data })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,11 +42,100 @@
 
 use crate::circuit::Circuit;
 use crate::fault::{lock_injector, FaultError, SharedFaultInjector};
-use crate::fuse::{CircuitStats, FusionOptions};
+use crate::fuse::{CircuitStats, CostModel, FusionOptions};
+use crate::gate::Gate;
 use crate::kernels::{CompiledCircuit, PARALLEL_WORK_THRESHOLD};
 use crate::shard::{ShardedCircuit, ShardedState};
 use crate::state::StateVector;
+use qls_cache::{machine_fingerprint, CachePolicy, CacheStore, Fingerprint, FingerprintBuilder};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Cache kind for fused-circuit artifacts (see [`qls_cache`]).
+const FUSED_CACHE_KIND: &str = "fused-circuits";
+/// Bump whenever the fusion pass, the [`CachedFusion`] wire shape, or the
+/// fingerprint recipe below changes meaning — old entries become misses.
+const FUSED_CACHE_VERSION: u32 = 1;
+
+/// The on-disk payload of one fused-circuit cache entry: the rewritten
+/// operation list plus the before/after report.  Compilation itself
+/// (matrix flattening, control masks, stride tables) is cheap and
+/// machine-width-dependent, so a hit replays the *fusion decision* and
+/// recompiles — [`crate::kernels::circuit_compile_count`] still ticks once
+/// per construction, preserving the compile-once contract tests, while
+/// [`crate::fuse::fusion_pass_count`] does not.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CachedFusion {
+    fused: Circuit,
+    stats: CircuitStats,
+}
+
+/// Content fingerprint of a fusion job: every input the optimizer's output
+/// depends on.  Gate params and `Unitary` entries are hashed by f64 bit
+/// pattern; the machine fingerprint is included because the measured cost
+/// model makes fusion decisions timing-dependent — an artifact cache copied
+/// to an unlike machine misses instead of importing foreign break-evens.
+fn fused_circuit_fingerprint(
+    circuit: &Circuit,
+    num_qubits: usize,
+    opts: &FusionOptions,
+) -> Fingerprint {
+    let mut b = FingerprintBuilder::new(FUSED_CACHE_KIND);
+    b.write_u64(machine_fingerprint());
+    b.write_usize(num_qubits);
+    b.write_usize(circuit.num_qubits());
+    b.write_usize(circuit.len());
+    // QSVT circuits repeat the same block-encoding unitary degree-many
+    // times; hashing every copy would make the fingerprint itself cost more
+    // than a warm cache replay saves.  Each *distinct* matrix is hashed
+    // once; repeats hash as a back-reference to its first occurrence
+    // (an equality check against the distinct set is a memcmp, several
+    // times cheaper than streaming the matrix through the hash).  The
+    // encoding stays injective: the op stream determines the distinct list
+    // and every op's matrix content.
+    let mut distinct: Vec<&crate::cmatrix::CMatrix> = Vec::new();
+    for op in circuit.operations() {
+        b.write_str(op.gate.name());
+        match &op.gate {
+            Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Phase(t) | Gate::GlobalPhase(t) => {
+                b.write_f64(*t);
+            }
+            Gate::Unitary(m) => match distinct.iter().position(|d| *d == m) {
+                Some(i) => {
+                    b.write_u64(u64::MAX);
+                    b.write_usize(i);
+                }
+                None => {
+                    b.write_usize(m.nrows());
+                    for i in 0..m.nrows() {
+                        for j in 0..m.ncols() {
+                            let z = m[(i, j)];
+                            b.write_f64(z.re);
+                            b.write_f64(z.im);
+                        }
+                    }
+                    distinct.push(m);
+                }
+            },
+            _ => {}
+        }
+        b.write_usize_slice(&op.targets);
+        b.write_usize_slice(&op.controls);
+    }
+    b.write_usize(opts.max_fused_qubits);
+    b.write_usize(opts.max_diagonal_qubits);
+    b.write_usize(opts.lookback);
+    b.write_usize(opts.op_overhead_cost);
+    b.write_u64(match opts.cost_model {
+        CostModel::Static => 0,
+        CostModel::Measured => 1,
+    });
+    match opts.shard_boundary {
+        None => b.write_u64(0),
+        Some(m) => b.write_u64(1).write_usize(m),
+    };
+    b.finish()
+}
 
 /// How aggressively the executor rewrites a circuit before compiling it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -135,15 +224,50 @@ impl QuantumExecutor {
         Self::for_register_with_exec_mode(circuit, circuit.num_qubits(), opt_level, mode)
     }
 
-    /// The general constructor: explicit register width, [`OptLevel`], and
-    /// [`ExecMode`].  In sharded mode the fused (or raw) operation list is
-    /// compiled twice — the flat oracle plus the sharded plan — still at
-    /// construction only; runs never recompile.
+    /// [`QuantumExecutor::for_register_with_exec_mode`] with the artifact
+    /// cache disabled — ad-hoc executors over arbitrary circuits should not
+    /// populate the user's cache directory by default.  Layers with stable,
+    /// expensive-to-fuse circuits (the QSVT solver stack) opt in through
+    /// [`QuantumExecutor::for_register_with_config`].
     pub fn for_register_with_exec_mode(
         circuit: &Circuit,
         num_qubits: usize,
         opt_level: OptLevel,
         mode: ExecMode,
+    ) -> Self {
+        Self::for_register_with_config(circuit, num_qubits, opt_level, mode, CachePolicy::Disabled)
+    }
+
+    /// [`QuantumExecutor::for_register_with_config`] at the circuit's own
+    /// register width.
+    pub fn with_config(
+        circuit: &Circuit,
+        opt_level: OptLevel,
+        mode: ExecMode,
+        cache: CachePolicy,
+    ) -> Self {
+        Self::for_register_with_config(circuit, circuit.num_qubits(), opt_level, mode, cache)
+    }
+
+    /// The general constructor: explicit register width, [`OptLevel`],
+    /// [`ExecMode`], and [`CachePolicy`].  In sharded mode the fused (or raw)
+    /// operation list is compiled twice — the flat oracle plus the sharded
+    /// plan — still at construction only; runs never recompile.
+    ///
+    /// With the cache enabled, the [`OptLevel::Fuse`] path consults the
+    /// persistent `fused-circuits` store before running the optimizer: a hit
+    /// replays the previously fused operation list (zero
+    /// [`crate::fuse::fusion_pass_count`] ticks, and — because the measured
+    /// cost model's calibration table is also persisted — zero timing runs),
+    /// a miss fuses as usual and stores the result.  Either way the compiled
+    /// form is bit-identical: the cache stores the fusion *decision*, not
+    /// floats produced by it.
+    pub fn for_register_with_config(
+        circuit: &Circuit,
+        num_qubits: usize,
+        opt_level: OptLevel,
+        mode: ExecMode,
+        cache: CachePolicy,
     ) -> Self {
         let shards = match mode {
             ExecMode::Flat => None,
@@ -165,8 +289,46 @@ impl QuantumExecutor {
                     let k = s.trailing_zeros() as usize;
                     opts = opts.with_shard_boundary(num_qubits.saturating_sub(k));
                 }
+                let store = match cache {
+                    CachePolicy::Enabled => CacheStore::open(),
+                    CachePolicy::Disabled => None,
+                };
+                let key = store
+                    .as_ref()
+                    .map(|_| fused_circuit_fingerprint(circuit, num_qubits, &opts));
+                if let (Some(store), Some(key)) = (&store, key) {
+                    if let Some(cf) =
+                        store.load::<CachedFusion>(FUSED_CACHE_KIND, FUSED_CACHE_VERSION, key)
+                    {
+                        // Belt and braces on top of the deserializer's own
+                        // invariant checks: a replayed circuit must still fit
+                        // the register (key collisions are negligible, but a
+                        // panic from stale data is never acceptable).
+                        if cf.fused.num_qubits() <= num_qubits {
+                            return QuantumExecutor {
+                                compiled: CompiledCircuit::compile_for(&cf.fused, num_qubits),
+                                sharded: shards
+                                    .map(|s| ShardedCircuit::compile(&cf.fused, num_qubits, s)),
+                                opt_level,
+                                stats: Some(cf.stats),
+                                fault: None,
+                            };
+                        }
+                    }
+                }
                 let (compiled, fused, stats) =
                     CompiledCircuit::optimized_with_fused(circuit, num_qubits, &opts);
+                if let (Some(store), Some(key)) = (&store, key) {
+                    store.store(
+                        FUSED_CACHE_KIND,
+                        FUSED_CACHE_VERSION,
+                        key,
+                        &CachedFusion {
+                            fused: fused.clone(),
+                            stats,
+                        },
+                    );
+                }
                 QuantumExecutor {
                     compiled,
                     sharded: shards.map(|s| ShardedCircuit::compile(&fused, num_qubits, s)),

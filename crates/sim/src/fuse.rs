@@ -84,7 +84,7 @@ use crate::circuit::{Circuit, Operation};
 use crate::cmatrix::CMatrix;
 use crate::gate::Gate;
 use num_complex::Complex64;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
@@ -193,7 +193,7 @@ impl FusionOptions {
 /// complex-multiply equivalents: per visited amplitude for the diagonal
 /// classes, per pair for the permutation/single-qubit classes, per
 /// `2^k`-block for the generic classes.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 struct CostUnits {
     /// Phase-shift-class diagonal (unit leading entry, one target).
     phase: f64,
@@ -266,27 +266,75 @@ impl CostUnits {
 thread_local! {
     /// Measured [`CostUnits`] per register size (see [`CostModel::Measured`]).
     static MEASURED_UNITS: RefCell<HashMap<usize, CostUnits>> = RefCell::new(HashMap::new());
-    /// Calibrations performed by this thread, for cache-contract tests.
+    /// Calibration-table fills by this thread, for cache-contract tests.
     static CALIBRATIONS: Cell<usize> = const { Cell::new(0) };
+    /// Fusion passes run by this thread, for cache-contract tests.
+    static FUSION_PASSES: Cell<usize> = const { Cell::new(0) };
 }
 
-/// Number of fusion-cost calibrations performed so far by the calling
+/// Number of fusion-cost calibration-table fills so far by the calling
 /// thread — at most one per distinct register size under
-/// [`CostModel::Measured`], zero under [`CostModel::Static`].  Mirrors
+/// [`CostModel::Measured`], zero under [`CostModel::Static`].  A fill is
+/// either a timing run ([`calibrate`]) or a load from the persistent
+/// artifact cache (`qls-cache`, kind `fusion-calibration`); either way the
+/// thread-local table is primed and later sweeps pay nothing.  Mirrors
 /// [`crate::kernels::circuit_compile_count`]: read it around a code region
 /// to verify the calibration cache is doing its job.
 pub fn calibration_count() -> usize {
     CALIBRATIONS.with(|c| c.get())
 }
 
+/// Number of fusion passes ([`optimize_circuit`] / [`optimize_circuit_for`])
+/// run so far by the calling thread.  The fused-circuit artifact cache
+/// serves warm constructions without a pass, so wrapping a warm-build
+/// region with this counter asserts "zero fusion passes" directly.
+pub fn fusion_pass_count() -> usize {
+    FUSION_PASSES.with(|c| c.get())
+}
+
+/// Cache kind for persisted calibration tables (see [`calibration_count`]).
+const CALIBRATION_CACHE_KIND: &str = "fusion-calibration";
+/// Entry-format version of the calibration store.
+const CALIBRATION_CACHE_VERSION: u32 = 1;
+
+fn calibration_fingerprint(num_qubits: usize) -> qls_cache::Fingerprint {
+    qls_cache::FingerprintBuilder::new(CALIBRATION_CACHE_KIND)
+        .write_u64(qls_cache::machine_fingerprint())
+        .write_usize(num_qubits)
+        .finish()
+}
+
 fn resolve_units(model: CostModel, num_qubits: usize) -> CostUnits {
     match model {
         CostModel::Static => STATIC_UNITS,
         CostModel::Measured => MEASURED_UNITS.with(|cache| {
-            *cache
-                .borrow_mut()
-                .entry(num_qubits)
-                .or_insert_with(|| calibrate(num_qubits))
+            *cache.borrow_mut().entry(num_qubits).or_insert_with(|| {
+                CALIBRATIONS.with(|c| c.set(c.get() + 1));
+                // First use for this register size: take the persisted table
+                // for this machine if one exists (first-optimize timing runs
+                // then amortize across processes), else measure and persist.
+                // `load_quiet` keeps the hit/miss counters for the artifact
+                // stores the solver layers assert on.
+                let store = qls_cache::CacheStore::open();
+                let key = calibration_fingerprint(num_qubits);
+                store
+                    .as_ref()
+                    .and_then(|s| {
+                        s.load_quiet(CALIBRATION_CACHE_KIND, CALIBRATION_CACHE_VERSION, key)
+                    })
+                    .unwrap_or_else(|| {
+                        let units = calibrate(num_qubits);
+                        if let Some(s) = &store {
+                            s.store(
+                                CALIBRATION_CACHE_KIND,
+                                CALIBRATION_CACHE_VERSION,
+                                key,
+                                &units,
+                            );
+                        }
+                        units
+                    })
+            })
         }),
     }
 }
@@ -300,7 +348,6 @@ fn resolve_units(model: CostModel, num_qubits: usize) -> CostUnits {
 fn calibrate(num_qubits: usize) -> CostUnits {
     use crate::kernels::CompiledOp;
     use std::time::Instant;
-    CALIBRATIONS.with(|c| c.set(c.get() + 1));
     let m = num_qubits.clamp(6, 12);
     let len = 1usize << m;
     let mut amps = vec![Complex64::new((len as f64).sqrt().recip(), 0.0); len];
@@ -379,7 +426,7 @@ fn calibrate(num_qubits: usize) -> CostUnits {
 /// uses ([`crate::kernels::CompiledOp::work_estimate`]): free-index count ×
 /// per-iteration cost, summed over the circuit — an estimate of the complex
 /// multiplies one full application performs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CircuitStats {
     /// Operation count of the raw circuit.
     pub raw_ops: usize,
@@ -879,6 +926,7 @@ pub fn optimize_circuit_for(circuit: &Circuit, num_qubits: usize, opts: &FusionO
         circuit.num_qubits(),
         num_qubits
     );
+    FUSION_PASSES.with(|c| c.set(c.get() + 1));
     let len = 1usize << num_qubits;
     let units = resolve_units(opts.cost_model, num_qubits);
     let boundary = opts.shard_boundary.map(|b| b.min(num_qubits));

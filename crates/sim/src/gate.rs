@@ -8,6 +8,7 @@
 
 use crate::cmatrix::CMatrix;
 use num_complex::Complex64;
+use serde::{Deserialize, Serialize};
 
 fn c(re: f64, im: f64) -> Complex64 {
     Complex64::new(re, im)
@@ -15,7 +16,7 @@ fn c(re: f64, im: f64) -> Complex64 {
 
 /// A quantum gate (without its placement on qubits — see
 /// [`crate::circuit::Operation`]).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Gate {
     /// Identity.
     I,

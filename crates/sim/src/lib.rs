@@ -129,14 +129,15 @@ pub use fault::{
     TransientKind,
 };
 pub use fuse::{
-    calibration_count, optimize_circuit, optimize_circuit_for, CircuitStats, CostModel,
-    FusionOptions,
+    calibration_count, fusion_pass_count, optimize_circuit, optimize_circuit_for, CircuitStats,
+    CostModel, FusionOptions,
 };
 pub use gate::Gate;
 pub use kernels::{circuit_compile_count, CompiledCircuit, CompiledOp, PARALLEL_WORK_THRESHOLD};
 pub use measure::{
     estimate_magnitudes, sample, shots_for_accuracy, signed_from_magnitudes, SampleResult,
 };
+pub use qls_cache::CachePolicy;
 pub use resources::{
     estimate_resources, fusion_stats, sharding_stats, ResourceEstimate, ShardingStats, TCountModel,
 };

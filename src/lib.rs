@@ -101,6 +101,41 @@
 //! `examples/noisy_refinement.rs` for the end-to-end demonstration and
 //! `qls_core::refine` for how to write deterministic fault tests.
 //!
+//! ## Persistent artifact cache: warm solver construction
+//!
+//! Building a circuit-mode solver is dominated by two one-time stages —
+//! symmetric-QSP phase-factor iteration and the measured-cost fusion pass —
+//! both pure functions of their inputs.  The [`cache`] crate (`qls-cache`)
+//! makes repeat constructions a disk read: `QsvtInverter::new`,
+//! `QsvtLinearSolver::new` and `HybridRefiner::new` consult per-kind stores
+//! under `$QLS_CACHE_DIR` (default `~/.cache/qls`) before generating
+//! anything, on by default via `QsvtSolverOptions::cache`
+//! (`CachePolicy::Disabled` is the escape hatch; results are bit-identical
+//! either way — the cache stores decisions, not approximations).
+//!
+//! **Fingerprint scheme.**  Entries are keyed by a 128-bit content hash
+//! (two fixed-key SipHash-2-4 lanes, `qls_cache::FingerprintBuilder`) over
+//! *every input the artifact depends on*, with floats hashed by IEEE-754
+//! bit pattern: phase factors (kind `qsvt-phases`) hash the polynomial's
+//! Chebyshev coefficients and the phase-finding options; fused circuits
+//! (kind `fused-circuits`) hash the gate list (names, params, `Unitary`
+//! entries, targets, controls), register width, fusion options, and the
+//! machine fingerprint (arch + OS + SIMD class), because measured-cost
+//! fusion decisions are timing-dependent; calibration tables (kind
+//! `fusion-calibration`) hash the machine fingerprint and register size.
+//!
+//! **Invalidation rules.**  There is no staleness check at read time —
+//! invalidation is structural: any input change produces a different
+//! fingerprint (a never-found key), each kind carries an entry-format
+//! version in both the directory layout and the JSON envelope (bumping it
+//! orphans old entries), and corrupt or truncated files deserialize to a
+//! miss, never an error.  Writes are atomic (temp file + rename), so
+//! concurrent solvers race benignly.  `qls_cache::cache_hit_count` /
+//! `cache_miss_count` audit the stores the same way `circuit_compile_count`
+//! audits compilation; see `examples/warm_cache.rs` and the
+//! `build_seconds_warm` / `warm_vs_cold_build_speedup` fields of
+//! `BENCH_simulator.json`.
+//!
 //! ## Workspace layout
 //!
 //! ```text
@@ -150,6 +185,7 @@
 //!   perf-trajectory artifact `BENCH_simulator.json` (CI validates it with
 //!   `--preset small`).
 
+pub use qls_cache as cache;
 pub use qls_core as core;
 pub use qls_encoding as encoding;
 pub use qls_linalg as linalg;
@@ -159,6 +195,7 @@ pub use qls_sim as sim;
 
 /// Everything the examples and typical downstream code need, in one import.
 pub mod prelude {
+    pub use qls_cache::{cache_hit_count, cache_miss_count, with_cache_dir, CachePolicy};
     pub use qls_core::{
         classical_lu_solve, poisson_cost_breakdown, qsvt_degree_model, quantum_cost_comparison,
         sample_direction, CommunicationParameters, CommunicationSchedule, CostParameters,
@@ -185,12 +222,12 @@ pub mod prelude {
         DENSIFY_FALLBACK_MAX,
     };
     pub use qls_poly::{ChebyshevSeries, InversePolynomial};
-    pub use qls_qsvt::{QsvtInverter, QsvtMode};
+    pub use qls_qsvt::{phase_generation_count, QsvtInverter, QsvtMode};
     pub use qls_sim::{
-        calibration_count, estimate_resources, fusion_stats, sharding_stats, with_scalar_kernels,
-        Circuit, CircuitStats, CostModel, ExecMode, FaultInjector, FaultPlan, FusionOptions, Gate,
-        OptLevel, QuantumExecutor, ShardedCircuit, ShardedState, ShardingStats, StateVector,
-        TCountModel, TransientKind,
+        calibration_count, estimate_resources, fusion_pass_count, fusion_stats, sharding_stats,
+        with_scalar_kernels, Circuit, CircuitStats, CostModel, ExecMode, FaultInjector, FaultPlan,
+        FusionOptions, Gate, OptLevel, QuantumExecutor, ShardedCircuit, ShardedState,
+        ShardingStats, StateVector, TCountModel, TransientKind,
     };
 
     pub use rand::SeedableRng;

@@ -1,57 +1,1029 @@
-//! Offline vendored stand-in for the [`serde`](https://serde.rs) facade.
+//! Offline vendored stand-in for the [`serde`](https://serde.rs) facade —
+//! now a real (subset) serialization framework.
 //!
-//! crates.io is unreachable in the build container, so `Serialize` and
-//! `Deserialize` are *marker traits* here: deriving them compiles and
-//! records serialisability intent, but no wire format exists until the real
-//! serde is restored (tracked in ROADMAP.md "Open items").  Keeping the
-//! derives in place means the eventual swap is a dependency change only.
+//! crates.io is unreachable in the build container, so this crate cannot be
+//! the real serde.  Through PR 9 it was a pair of *marker traits*; the
+//! persistent artifact cache (`qls-cache`) needs an actual wire format, so
+//! the stand-in now implements a self-describing subset of serde's data
+//! model:
+//!
+//! * **Real**: `Serialize`/`Deserialize` produce and consume a [`Value`]
+//!   tree (null/bool/int/uint/float/string/seq/map) with a JSON wire format
+//!   ([`to_json_string`]/[`from_json_str`]) that round-trips `f64` values
+//!   bit-exactly (shortest-representation printing, `NaN`/`Infinity`
+//!   tokens as a JSON superset).  The derive macros generate genuine
+//!   field-wise impls for structs (named/tuple/unit) and enums
+//!   (unit/tuple/named variants).
+//! * **Still a stand-in**: no zero-copy deserialization (the `'de`
+//!   lifetime parameter exists only for API compatibility and is never
+//!   borrowed from), no `#[serde(...)]` attribute support beyond accepting
+//!   the attribute, no `Serializer`/`Deserializer` trait pair — everything
+//!   goes through the owned [`Value`] tree.
+//!
+//! Swapping in the real serde remains a dependency change for derive users;
+//! code that calls [`to_json_string`]/[`from_json_str`] directly would move
+//! to `serde_json`.
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize`.
-pub trait Serialize {}
+use std::fmt;
 
-/// Marker stand-in for `serde::Deserialize`.
-pub trait Deserialize<'de> {}
+// ---------------------------------------------------------------------------
+// Data model
+// ---------------------------------------------------------------------------
 
-/// Marker stand-in for `serde::de::DeserializeOwned`.
+/// A self-describing serialized value — the subset data model every
+/// `Serialize`/`Deserialize` impl goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` / unit / `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (all signed ints widen to `i64`).
+    Int(i64),
+    /// An unsigned integer that does not fit `i64`.
+    UInt(u64),
+    /// A floating-point number (`f32` widens to `f64`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (field order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+/// Key under which an enum variant's name is stored for non-unit variants.
+const VARIANT_KEY: &str = "$variant";
+/// Key under which a tuple variant's fields are stored.
+const FIELDS_KEY: &str = "$fields";
+
+impl Value {
+    /// Look up a key in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Fetch a required struct field, with a `ty`-qualified error.
+    pub fn field(&self, ty: &str, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Map(_) => self
+                .get(name)
+                .ok_or_else(|| DeError::new(format!("{ty}: missing field `{name}`"))),
+            other => Err(DeError::new(format!(
+                "{ty}: expected a map for field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Fetch a required sequence element, with a `ty`-qualified error.
+    pub fn seq_item(&self, ty: &str, index: usize) -> Result<&Value, DeError> {
+        match self {
+            Value::Seq(items) => items
+                .get(index)
+                .ok_or_else(|| DeError::new(format!("{ty}: missing element {index}"))),
+            other => Err(DeError::new(format!(
+                "{ty}: expected a sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Encode a unit enum variant (just the variant name).
+    pub fn enum_unit(variant: &str) -> Value {
+        Value::Str(variant.to_string())
+    }
+
+    /// Encode a tuple enum variant: `{"$variant": name, "$fields": [...]}`.
+    pub fn enum_tuple(variant: &str, fields: Vec<Value>) -> Value {
+        Value::Map(vec![
+            (VARIANT_KEY.to_string(), Value::Str(variant.to_string())),
+            (FIELDS_KEY.to_string(), Value::Seq(fields)),
+        ])
+    }
+
+    /// Encode a struct enum variant: `{"$variant": name, field: value, ...}`.
+    pub fn enum_named(variant: &str, fields: Vec<(&str, Value)>) -> Value {
+        let mut entries = Vec::with_capacity(fields.len() + 1);
+        entries.push((VARIANT_KEY.to_string(), Value::Str(variant.to_string())));
+        entries.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+        Value::Map(entries)
+    }
+
+    /// The variant name of an encoded enum (either form).
+    pub fn variant_name(&self, ty: &str) -> Result<&str, DeError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            Value::Map(_) => match self.get(VARIANT_KEY) {
+                Some(Value::Str(s)) => Ok(s),
+                _ => Err(DeError::new(format!(
+                    "{ty}: map has no `{VARIANT_KEY}` tag"
+                ))),
+            },
+            other => Err(DeError::new(format!(
+                "{ty}: expected an enum encoding, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Fetch a tuple-variant field from the `$fields` sequence.
+    pub fn tuple_field(&self, ty: &str, index: usize) -> Result<&Value, DeError> {
+        match self.get(FIELDS_KEY) {
+            Some(seq) => seq.seq_item(ty, index),
+            None => Err(DeError::new(format!(
+                "{ty}: map has no `{FIELDS_KEY}` list"
+            ))),
+        }
+    }
+
+    /// Short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::UInt(_) => "uint",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            Value::Float(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) => u64::try_from(i).ok(),
+            Value::Float(f) if f.fract() == 0.0 && f >= 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Deserialization error: what was expected, what was found, where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Build an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Standard "unknown enum variant" error.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        DeError::new(format!("{ty}: unknown variant `{variant}`"))
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ---------------------------------------------------------------------------
+// Traits
+// ---------------------------------------------------------------------------
+
+/// Subset stand-in for `serde::Serialize`: produce a [`Value`] tree.
+pub trait Serialize {
+    /// Serialize `self` into the subset data model.
+    fn serialize(&self) -> Value;
+}
+
+/// Subset stand-in for `serde::Deserialize`: consume a [`Value`] tree.
+///
+/// The `'de` lifetime is kept for signature compatibility with the real
+/// serde (and with existing `for<'de>` bounds); this stand-in never borrows
+/// from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstruct `Self` from the subset data model.
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Stand-in for `serde::de::DeserializeOwned`.
 pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
 
 impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
 
-macro_rules! impl_markers {
+// ---------------------------------------------------------------------------
+// Convenience entry points
+// ---------------------------------------------------------------------------
+
+/// Serialize to the in-memory data model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Deserialize from the in-memory data model.
+pub fn from_value<T: DeserializeOwned>(value: &Value) -> Result<T, DeError> {
+    T::deserialize(value)
+}
+
+/// Serialize to a compact JSON string (superset: non-finite floats print as
+/// `NaN` / `Infinity` / `-Infinity`).
+pub fn to_json_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_json(&value.serialize(), &mut out);
+    out
+}
+
+/// Deserialize from a JSON string (accepts the same superset
+/// [`to_json_string`] emits).
+pub fn from_json_str<T: DeserializeOwned>(json: &str) -> Result<T, DeError> {
+    T::deserialize(&parse_json(json)?)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive / std impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
     ($($t:ty),*) => {$(
-        impl Serialize for $t {}
-        impl<'de> Deserialize<'de> for $t {}
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let i = value.as_i64().ok_or_else(|| {
+                    DeError::new(format!(
+                        "expected {}, found {}", stringify!($t), value.kind()
+                    ))
+                })?;
+                <$t>::try_from(i).map_err(|_| {
+                    DeError::new(format!("{i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
     )*};
 }
 
-impl_markers!(
-    (),
-    bool,
-    char,
-    u8,
-    u16,
-    u32,
-    u64,
-    u128,
-    usize,
-    i8,
-    i16,
-    i32,
-    i64,
-    i128,
-    isize,
-    f32,
-    f64,
-    String
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let u = value.as_u64().ok_or_else(|| {
+                    DeError::new(format!(
+                        "expected {}, found {}", stringify!($t), value.kind()
+                    ))
+                })?;
+                <$t>::try_from(u).map_err(|_| {
+                    DeError::new(format!("{u} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+// 128-bit ints: store in the 64-bit lanes when they fit, else as a decimal
+// string (lossless; nothing in the workspace uses them today).
+macro_rules! impl_int128 {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                if let Ok(i) = i64::try_from(*self) {
+                    Value::Int(i)
+                } else if let Ok(u) = u64::try_from(*self) {
+                    Value::UInt(u)
+                } else {
+                    Value::Str(self.to_string())
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Str(s) => s.parse::<$t>().map_err(|_| {
+                        DeError::new(format!("`{s}` is not a valid {}", stringify!($t)))
+                    }),
+                    _ => {
+                        if let Some(i) = value.as_i64() {
+                            <$t>::try_from(i).map_err(|_| {
+                                DeError::new(format!("{i} out of range for {}", stringify!($t)))
+                            })
+                        } else if let Some(u) = value.as_u64() {
+                            <$t>::try_from(u).map_err(|_| {
+                                DeError::new(format!("{u} out of range for {}", stringify!($t)))
+                            })
+                        } else {
+                            Err(DeError::new(format!(
+                                "expected {}, found {}", stringify!($t), value.kind()
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_int128!(i128, u128);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::new(format!("expected f64, found {}", value.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        f64::deserialize(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::new(format!(
+                "expected single-char string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::new(format!(
+                "expected null, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::new(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::deserialize(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected {N} elements, found {len}")))
+    }
+}
+
+/// `None` ↔ `null`; `Some(x)` serializes as `x` itself.  (`Option<Option<T>>`
+/// is therefore ambiguous — the subset doesn't support it.)
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.serialize(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                Ok(($($name::deserialize(value.seq_item("tuple", $idx)?)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
 );
 
-impl<T: Serialize> Serialize for Vec<T> {}
-impl<T: Serialize> Serialize for Option<T> {}
-impl<T: Serialize> Serialize for [T] {}
-impl<T: Serialize, const N: usize> Serialize for [T; N] {}
-impl<T: Serialize + ?Sized> Serialize for &T {}
-impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
-impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
-impl Serialize for str {}
+// ---------------------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------------------
+
+fn write_json(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => {
+            out.push_str(&i.to_string());
+        }
+        Value::UInt(u) => {
+            out.push_str(&u.to_string());
+        }
+        Value::Float(f) => write_f64(*f, out),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_json(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Rust's `Display` for `f64` prints the shortest decimal that parses back
+/// to the same bits, so `text → f64` round-trips exactly; a `.0` suffix
+/// keeps integral floats re-parsing as `Float` rather than `Int` (harmless
+/// either way — numeric deserialization cross-accepts — but it preserves
+/// the `Value` tree across a JSON round trip).  Non-finite values use the
+/// conventional JSON-superset tokens.
+fn write_f64(f: f64, out: &mut String) {
+    if f.is_nan() {
+        out.push_str("NaN");
+    } else if f == f64::INFINITY {
+        out.push_str("Infinity");
+    } else if f == f64::NEG_INFINITY {
+        out.push_str("-Infinity");
+    } else {
+        let s = format!("{f}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser
+// ---------------------------------------------------------------------------
+
+/// Parse a JSON document (with the `NaN`/`Infinity` superset tokens) into a
+/// [`Value`] tree.
+pub fn parse_json(input: &str) -> Result<Value, DeError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: &str) -> DeError {
+        DeError::new(format!("json: {msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> Result<(), DeError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, DeError> {
+        match self.peek() {
+            Some(b'{') => self.parse_map(),
+            Some(b'[') => self.parse_seq(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b'N') if self.eat_keyword("NaN") => Ok(Value::Float(f64::NAN)),
+            Some(b'I') if self.eat_keyword("Infinity") => Ok(Value::Float(f64::INFINITY)),
+            Some(b'-') if self.bytes[self.pos..].starts_with(b"-Infinity") => {
+                self.pos += "-Infinity".len();
+                Ok(Value::Float(f64::NEG_INFINITY))
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, DeError> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, DeError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, DeError> {
+        self.eat(b'"')?;
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return String::from_utf8(buf).map_err(|_| self.error("invalid UTF-8"));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => buf.push(b'"'),
+                        b'\\' => buf.push(b'\\'),
+                        b'/' => buf.push(b'/'),
+                        b'n' => buf.push(b'\n'),
+                        b'r' => buf.push(b'\r'),
+                        b't' => buf.push(b'\t'),
+                        b'b' => buf.push(0x08),
+                        b'f' => buf.push(0x0C),
+                        b'u' => {
+                            let c = self.parse_unicode_escape()?;
+                            let mut tmp = [0u8; 4];
+                            buf.extend_from_slice(c.encode_utf8(&mut tmp).as_bytes());
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                Some(c) => {
+                    buf.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, DeError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, DeError> {
+        let code = self.parse_hex4()?;
+        // High surrogate: must be followed by `\uDC00`–`\uDFFF`.
+        if (0xD800..0xDC00).contains(&code) {
+            if !(self.eat(b'\\').is_ok() && self.eat(b'u').is_ok()) {
+                return Err(self.error("unpaired surrogate"));
+            }
+            let low = self.parse_hex4()?;
+            if !(0xDC00..0xE000).contains(&low) {
+                return Err(self.error("unpaired surrogate"));
+            }
+            let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            char::from_u32(c).ok_or_else(|| self.error("bad surrogate pair"))
+        } else {
+            char::from_u32(code).ok_or_else(|| self.error("bad \\u escape"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, DeError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                b'+' | b'-' if is_float => self.pos += 1,
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("bad number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            // Falls through: integers beyond 64 bits parse as f64.
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.error("bad number"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        let mut s = String::new();
+        write_json(v, &mut s);
+        parse_json(&s).expect("round-trip parse")
+    }
+
+    #[test]
+    fn scalars_roundtrip_through_json() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Int(i64::MIN),
+            Value::UInt(u64::MAX),
+            Value::Float(1.5),
+            Value::Float(-0.1),
+            Value::Str("hello \"world\"\n\\ \u{1F600} \u{7}".to_string()),
+        ] {
+            assert_eq!(roundtrip(&v), v);
+        }
+    }
+
+    #[test]
+    fn f64_roundtrip_is_bit_exact() {
+        for f in [
+            0.1,
+            std::f64::consts::PI,
+            1e-308,
+            2.2250738585072014e-308, // smallest normal
+            5e-324,                  // smallest subnormal
+            1.7976931348623157e308,  // largest finite
+            -0.0,
+            1.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            match roundtrip(&Value::Float(f)) {
+                Value::Float(g) => assert_eq!(f.to_bits(), g.to_bits(), "{f}"),
+                other => panic!("expected float, got {other:?}"),
+            }
+        }
+        match roundtrip(&Value::Float(f64::NAN)) {
+            Value::Float(g) => assert!(g.is_nan()),
+            other => panic!("expected NaN, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip_through_json() {
+        let v = Value::Map(vec![
+            ("empty_seq".to_string(), Value::Seq(vec![])),
+            ("empty_map".to_string(), Value::Map(vec![])),
+            (
+                "nested".to_string(),
+                Value::Seq(vec![
+                    Value::Map(vec![("k".to_string(), Value::Int(1))]),
+                    Value::Null,
+                ]),
+            ),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn std_type_impls_roundtrip() {
+        let v: Vec<f64> = vec![1.0, -2.5, f64::NAN];
+        let back: Vec<f64> = from_json_str(&to_json_string(&v)).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0].to_bits(), v[0].to_bits());
+        assert!(back[2].is_nan());
+
+        let opt: Option<u32> = Some(7);
+        assert_eq!(
+            from_json_str::<Option<u32>>(&to_json_string(&opt)).unwrap(),
+            opt
+        );
+        let none: Option<u32> = None;
+        assert_eq!(
+            from_json_str::<Option<u32>>(&to_json_string(&none)).unwrap(),
+            none
+        );
+
+        let arr = [1usize, 2, 3];
+        assert_eq!(
+            from_json_str::<[usize; 3]>(&to_json_string(&arr)).unwrap(),
+            arr
+        );
+
+        let pair = (1i32, "two".to_string());
+        assert_eq!(
+            from_json_str::<(i32, String)>(&to_json_string(&pair)).unwrap(),
+            pair
+        );
+    }
+
+    #[test]
+    fn numeric_cross_acceptance() {
+        // `1` parses as Int but deserializes into f64/usize alike.
+        assert_eq!(from_json_str::<f64>("1").unwrap(), 1.0);
+        assert_eq!(from_json_str::<usize>("1").unwrap(), 1);
+        // Range violations are errors, not wraps.
+        assert!(from_json_str::<u8>("300").is_err());
+        assert!(from_json_str::<usize>("-1").is_err());
+    }
+
+    #[test]
+    fn malformed_json_is_an_error_not_a_panic() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"abc",
+            "{\"a\":}",
+            "nul",
+            "1e",
+            "--3",
+            "[]x",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+        ] {
+            assert!(parse_json(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn enum_encoding_helpers() {
+        let unit = Value::enum_unit("Converged");
+        assert_eq!(unit.variant_name("T").unwrap(), "Converged");
+
+        let tup = Value::enum_tuple("SolveFailed", vec![Value::Int(3)]);
+        assert_eq!(tup.variant_name("T").unwrap(), "SolveFailed");
+        assert_eq!(tup.tuple_field("T", 0).unwrap(), &Value::Int(3));
+
+        let named = Value::enum_named("EscalateShots", vec![("shots", Value::Int(512))]);
+        assert_eq!(named.variant_name("T").unwrap(), "EscalateShots");
+        assert_eq!(named.field("T", "shots").unwrap(), &Value::Int(512));
+    }
+}

@@ -1,37 +1,78 @@
-//! Offline vendored stand-in for `serde_derive`.
+//! Offline vendored stand-in for `serde_derive` — real field-wise codegen.
 //!
-//! The container cannot reach crates.io, so this proc-macro crate (which
-//! needs nothing beyond the compiler-provided `proc_macro` API) emits
-//! *marker* impls for the vendored `serde`'s empty `Serialize` /
-//! `Deserialize` traits.  That keeps every `#[derive(Serialize)]` in the
-//! workspace compiling unchanged; actual wire formats arrive when the real
-//! serde is restored (ROADMAP "Open items").
+//! The container cannot reach crates.io, so this proc-macro crate uses
+//! nothing beyond the compiler-provided `proc_macro` API (no `syn`/`quote`).
+//! Through PR 9 it emitted empty marker impls; it now parses the item's
+//! fields and generates genuine `Serialize`/`Deserialize` impls against the
+//! vendored `serde`'s [`Value`] data model:
+//!
+//! * structs with named fields → `Value::Map` keyed by field name,
+//! * tuple structs → `Value::Seq`, unit structs → `Value::Null`,
+//! * enums → unit variants as `Value::Str(name)`, tuple variants as
+//!   `{"$variant": name, "$fields": [...]}`, struct variants as
+//!   `{"$variant": name, field: value, ...}`.
+//!
+//! Generic type parameters get `::serde::Serialize` /
+//! `::serde::Deserialize<'de>` where-bounds.  Field *types* are never
+//! parsed — the generated code lets inference pick the right impl — so the
+//! parser only has to recognise field/variant names, which keeps it honest
+//! without a full Rust grammar.  `#[serde(...)]` attributes are accepted
+//! but ignored (subset).
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
 
-/// Parsed shape of a `struct`/`enum` item: its name, the declaration-site
-/// generics (`<T: Bound, const N: usize>`) and the use-site type arguments
-/// with bounds and defaults stripped (`<T, N>`).
+/// Parsed shape of a `struct`/`enum` item.
 struct Item {
     name: String,
+    /// Declaration-site generics with bounds, e.g. `<T: Bound, const N: usize>`.
     decl_generics: String,
+    /// Use-site arguments, e.g. `<T, N>`.
     use_generics: String,
+    /// Names of the type parameters (for where-clause bounds).
+    type_params: Vec<String>,
+    /// Original where-clause predicates (without the `where` keyword).
+    where_predicates: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
 }
 
 fn parse_item(input: TokenStream) -> Item {
     let mut tokens = input.into_iter().peekable();
     // Skip attributes and visibility until the `struct` / `enum` keyword.
+    let mut is_enum = false;
     for tt in tokens.by_ref() {
         if let TokenTree::Ident(ident) = &tt {
             let word = ident.to_string();
-            if word == "struct" || word == "enum" || word == "union" {
+            if word == "struct" || word == "enum" {
+                is_enum = word == "enum";
                 break;
+            }
+            if word == "union" {
+                panic!("serde_derive stand-in: unions are not supported");
             }
         }
     }
     let name = match tokens.next() {
         Some(TokenTree::Ident(ident)) => ident.to_string(),
-        other => panic!("serde_derive stub: expected type name, found {other:?}"),
+        other => panic!("serde_derive stand-in: expected type name, found {other:?}"),
     };
 
     // Collect the token texts between the outer `<` and `>` if present.
@@ -58,13 +99,6 @@ fn parse_item(input: TokenStream) -> Item {
             inner.push(text);
         }
     }
-    if inner.is_empty() {
-        return Item {
-            name,
-            decl_generics: String::new(),
-            use_generics: String::new(),
-        };
-    }
 
     // Split the parameter list at top-level commas (depth tracked on < >;
     // parens/brackets/braces arrive as single group tokens, so only angle
@@ -85,6 +119,7 @@ fn parse_item(input: TokenStream) -> Item {
         params.last_mut().unwrap().push(text.clone());
     }
     let mut use_args: Vec<String> = Vec::new();
+    let mut type_params: Vec<String> = Vec::new();
     for param in params.iter().filter(|p| !p.is_empty()) {
         if param[0] == "'" {
             // A lifetime arrives as a `'` punct followed by its identifier.
@@ -93,40 +128,400 @@ fn parse_item(input: TokenStream) -> Item {
             use_args.push(param.get(1).cloned().unwrap_or_default());
         } else {
             use_args.push(param[0].clone());
+            type_params.push(param[0].clone());
         }
     }
 
     // Join declaration tokens, keeping `'` glued to the lifetime name.
-    let mut decl = String::from("<");
-    for text in &inner {
-        if !decl.ends_with(['<', '\'']) {
-            decl.push(' ');
+    let decl_generics = if inner.is_empty() {
+        String::new()
+    } else {
+        let mut decl = String::from("<");
+        for text in &inner {
+            if !decl.ends_with(['<', '\'']) {
+                decl.push(' ');
+            }
+            decl.push_str(text);
         }
-        decl.push_str(text);
+        decl.push('>');
+        decl
+    };
+    let use_generics = if use_args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", use_args.join(", "))
+    };
+
+    // Body: an optional where clause, then `{...}` / `(...)` `;` / `;`.
+    let mut where_predicates = String::new();
+    let mut in_where = false;
+    let mut shape = None;
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Ident(ident) if ident.to_string() == "where" => {
+                in_where = true;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                shape = Some(if is_enum {
+                    Shape::Enum(parse_variants(g.stream()))
+                } else {
+                    Shape::NamedStruct(parse_named_fields(g.stream()))
+                });
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && !in_where => {
+                shape = Some(Shape::TupleStruct(count_tuple_fields(g.stream())));
+                // Trailing `where` clause (if any) and `;` follow.
+                for rest in tokens.by_ref() {
+                    if let TokenTree::Ident(id) = &rest {
+                        if id.to_string() == "where" {
+                            in_where = true;
+                            continue;
+                        }
+                    }
+                    if in_where && !matches!(&rest, TokenTree::Punct(p) if p.as_char() == ';') {
+                        push_token_text(&mut where_predicates, &rest);
+                    }
+                }
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' && !in_where => {
+                shape = Some(Shape::UnitStruct);
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' && in_where => {
+                shape = Some(Shape::UnitStruct);
+                break;
+            }
+            _ if in_where => push_token_text(&mut where_predicates, &tt),
+            _ => {}
+        }
     }
-    decl.push('>');
 
     Item {
         name,
-        decl_generics: decl,
-        use_generics: format!("<{}>", use_args.join(", ")),
+        decl_generics,
+        use_generics,
+        type_params,
+        where_predicates,
+        shape: shape.unwrap_or(Shape::UnitStruct),
+    }
+}
+
+fn push_token_text(out: &mut String, tt: &TokenTree) {
+    if !out.is_empty() && !out.ends_with('\'') {
+        out.push(' ');
+    }
+    out.push_str(&tt.to_string());
+}
+
+/// Skip `#[...]` attributes (doc comments included) at the cursor.
+fn skip_attributes(tokens: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The bracket group of the attribute.
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    tokens.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip `pub` / `pub(...)` visibility at the cursor.
+fn skip_visibility(tokens: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Skip tokens until a depth-0 comma (depth tracked on `<`/`>`), consuming it.
+fn skip_to_comma(tokens: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    for tt in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Field names of a named-field body (struct or enum variant).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(ident)) => {
+                fields.push(ident.to_string());
+                skip_to_comma(&mut tokens);
+            }
+            None => return fields,
+            other => panic!("serde_derive stand-in: expected field name, found {other:?}"),
+        }
+    }
+}
+
+/// Number of fields of a tuple body `(A, B, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut pending = false;
+    let mut depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if pending {
+                        count += 1;
+                        pending = false;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+/// Variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => return variants,
+            other => panic!("serde_derive stand-in: expected variant name, found {other:?}"),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                tokens.next();
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Named(parse_named_fields(g.stream()));
+                tokens.next();
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume an explicit discriminant (`= expr`) and the separator.
+        skip_to_comma(&mut tokens);
+        variants.push(Variant { name, kind });
+    }
+}
+
+/// JSON map key of a field: raw identifiers (`r#type`) drop the `r#`.
+fn key_of(field: &str) -> &str {
+    field.strip_prefix("r#").unwrap_or(field)
+}
+
+/// Assemble a where clause from the original predicates plus per-type-param
+/// serde bounds.
+fn where_clause(item: &Item, bound: &str) -> String {
+    let mut preds: Vec<String> = Vec::new();
+    if !item.where_predicates.trim().is_empty() {
+        preds.push(
+            item.where_predicates
+                .trim()
+                .trim_end_matches(',')
+                .to_string(),
+        );
+    }
+    for tp in &item.type_params {
+        preds.push(format!("{tp}: {bound}"));
+    }
+    if preds.is_empty() {
+        String::new()
+    } else {
+        format!("where {}", preds.join(", "))
     }
 }
 
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{}\"), ::serde::Serialize::serialize(&self.{f}))",
+                        key_of(f)
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::enum_unit(\"{vname}\"),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let fields: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::enum_tuple(\"{vname}\", ::std::vec![{}]),",
+                                binders.join(", "),
+                                fields.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{}\", ::serde::Serialize::serialize({f}))",
+                                        key_of(f)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => ::serde::Value::enum_named(\"{vname}\", ::std::vec![{}]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
     format!(
-        "impl {} ::serde::Serialize for {} {} {{}}",
-        item.decl_generics, item.name, item.use_generics
+        "#[automatically_derived]\n\
+         impl {} ::serde::Serialize for {name} {} {} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        item.decl_generics,
+        item.use_generics,
+        where_clause(&item, "::serde::Serialize"),
     )
     .parse()
-    .expect("serde_derive stub: generated impl failed to parse")
+    .expect("serde_derive stand-in: generated Serialize impl failed to parse")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(::serde::Value::field(__value, \"{name}\", \"{}\")?)?,",
+                        key_of(f)
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::deserialize(::serde::Value::seq_item(__value, \"{name}\", {i}usize)?)?"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", inits.join(", "))
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize(::serde::Value::tuple_field(__value, \"{name}\", {i}usize)?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}({})),",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deserialize(::serde::Value::field(__value, \"{name}\", \"{}\")?)?,",
+                                        key_of(f)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                                inits.join(" ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match ::serde::Value::variant_name(__value, \"{name}\")? {{\n\
+                     {}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", __other)),\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
     let impl_generics = if item.decl_generics.is_empty() {
         "<'de>".to_string()
     } else {
@@ -134,9 +529,15 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         format!("<'de, {}", item.decl_generics.trim_start_matches('<'))
     };
     format!(
-        "impl {impl_generics} ::serde::Deserialize<'de> for {} {} {{}}",
-        item.name, item.use_generics
+        "#[automatically_derived]\n\
+         impl {impl_generics} ::serde::Deserialize<'de> for {name} {} {} {{\n\
+             fn deserialize(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}",
+        item.use_generics,
+        where_clause(&item, "::serde::Deserialize<'de>"),
     )
     .parse()
-    .expect("serde_derive stub: generated impl failed to parse")
+    .expect("serde_derive stand-in: generated Deserialize impl failed to parse")
 }
